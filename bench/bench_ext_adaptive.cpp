@@ -1,0 +1,83 @@
+// Extension — online adaptive placement (paper Limitations: "lightweight
+// online profiling and adaptive placement" for dynamic workloads). A
+// workload whose hot set drifts mid-run: static DDAK keeps serving the stale
+// hot set from its caches, the adaptive placer follows the drift.
+
+#include "common.hpp"
+#include "ddak/adaptive.hpp"
+
+using namespace moment;
+
+namespace {
+
+/// Fraction of accesses served from cache tiers under a placement.
+double cache_hit_share(const ddak::DataPlacementResult& placement,
+                       std::span<const graph::VertexId> accesses) {
+  std::size_t hits = 0;
+  for (graph::VertexId v : accesses) {
+    const auto bin = placement.bin_of_vertex[v];
+    if (bin == 0 || bin == 1) ++hits;  // GPU / CPU bins in this setup
+  }
+  return accesses.empty()
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(accesses.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension: adaptive placement under workload drift",
+                "paper Section 5 'Limitations' (dynamic workloads)");
+
+  constexpr std::size_t kN = 20000;
+  std::vector<ddak::Bin> bins(3);
+  bins[0] = {"GPU", 0, topology::StorageTier::kGpuHbm, 0.01 * kN, 30.0, {}};
+  bins[1] = {"CPU", 1, topology::StorageTier::kCpuDram, 0.02 * kN, 20.0, {}};
+  bins[2] = {"SSD", 2, topology::StorageTier::kSsd,
+             static_cast<double>(kN), 50.0, {}};
+
+  // Initial (phase-1) hotness: Zipf over identity order.
+  sampling::HotnessProfile profile;
+  profile.hotness.resize(kN);
+  for (std::size_t v = 0; v < kN; ++v) {
+    profile.hotness[v] = 1.0 / std::pow(static_cast<double>(v + 1), 0.9);
+  }
+  profile.batch_size = 64;
+  profile.fetches_per_batch = 640;
+  const auto static_place = ddak::ddak_place(bins, profile);
+
+  ddak::AdaptiveOptions aopt;
+  aopt.migration_budget = 1500;
+  aopt.ema_alpha = 0.3;
+  ddak::AdaptivePlacer placer(bins, static_place, aopt);
+
+  util::Pcg32 rng(77);
+  util::ZipfSampler zipf(kN, 0.9);
+  auto draw_batch = [&](graph::VertexId hot_shift) {
+    std::vector<graph::VertexId> batch(2000);
+    for (auto& v : batch) {
+      v = static_cast<graph::VertexId>(
+          (zipf.sample(rng) + hot_shift) % kN);
+    }
+    return batch;
+  };
+
+  util::Table t({"round", "phase", "static hit rate", "adaptive hit rate",
+                 "migrated"});
+  for (int round = 0; round < 12; ++round) {
+    // Phase 2 drifts the hot set by half the id space.
+    const graph::VertexId shift = round < 4 ? 0 : kN / 2;
+    const auto batch = draw_batch(shift);
+    placer.observe(batch);
+    const auto stats = placer.rebalance();
+    t.add_row({std::to_string(round), shift == 0 ? "stable" : "drifted",
+               util::Table::percent(cache_hit_share(static_place, batch)),
+               util::Table::percent(cache_hit_share(placer.placement(), batch)),
+               std::to_string(stats.migrated)});
+  }
+  t.print(std::cout);
+  bench::note("after the drift, the static DDAK layout's cache hit rate "
+              "collapses while the adaptive placer recovers it within a few "
+              "rebalance rounds at bounded migration cost.");
+  return 0;
+}

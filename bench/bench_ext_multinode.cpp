@@ -1,0 +1,97 @@
+// Extension — multi-node generalization (paper Section 5): treat NICs as
+// interconnect nodes, network links as capacity edges, and let the same
+// max-flow machinery plan cluster-wide placement. Shows (a) the locality
+// the search discovers, (b) throughput vs network bandwidth, (c) scaling
+// with machine count.
+
+#include "common.hpp"
+#include "placement/search.hpp"
+#include "topology/cluster.hpp"
+
+using namespace moment;
+
+namespace {
+
+placement::SearchOptions cluster_workload(int gpus, int ssds) {
+  placement::SearchOptions o;
+  o.num_gpus = gpus;
+  o.num_ssds = ssds;
+  const double total = 400.0 * util::kGiB;
+  o.per_gpu_demand_bytes = total / gpus;
+  o.per_tier_bytes = {0.11 * total, 0.15 * total, 0.74 * total};
+  o.gpu_hbm_bytes = 0.11 * total / gpus;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension: multi-node co-optimization",
+                "paper Section 5 (Generalization to Multi-node)");
+
+  // (a) locality: best placement for 2 GPUs + 8 SSDs on a 4-machine cluster.
+  {
+    const auto spec = topology::make_cluster_c();
+    const auto r = placement::search_placements(spec, cluster_workload(2, 8));
+    std::printf("4-machine cluster, 2 GPUs + 8 SSDs\n");
+    std::printf("searched placement: %s\n",
+                placement::describe(spec, r.best().placement).c_str());
+    std::printf("candidates: %zu -> %zu after rotation reduction\n\n",
+                r.total_combinations, r.evaluated);
+  }
+
+  // (b) predicted throughput vs network bandwidth for a remote-heavy layout.
+  {
+    util::Table t({"network (GiB/s per NIC)", "co-located (GiB/s)",
+                   "remote-heavy (GiB/s)", "remote penalty"});
+    for (double net_bw : {2.5, 10.0, 40.0}) {
+      topology::ClusterOptions co;
+      co.num_machines = 2;
+      co.network_gib_per_s = net_bw;
+      co.slot_units_per_machine = 12;
+      const auto spec = topology::make_cluster(co);
+      topology::Placement local, remote;
+      local.gpus_per_group = {2, 0};
+      local.ssds_per_group = {6, 2};
+      remote.gpus_per_group = {2, 0};
+      remote.ssds_per_group = {0, 8};
+      auto score = [&](const topology::Placement& p) {
+        const auto o = cluster_workload(2, 8);
+        return placement::evaluate_placement(spec, p, o).score;
+      };
+      const double sl = score(local);
+      const double sr = score(remote);
+      t.add_row({util::Table::num(net_bw, 1),
+                 util::Table::num(util::to_gib_per_s(sl), 1),
+                 util::Table::num(util::to_gib_per_s(sr), 1),
+                 util::Table::speedup(sl / sr)});
+    }
+    t.print(std::cout);
+    bench::note("with a slow network, co-locating data with compute is "
+                "worth multiples; fast networks shrink the gap — the "
+                "trade-off Moment's cluster-level max flow captures.");
+  }
+
+  // (c) scaling with machine count (1 GPU + 2 SSDs per machine).
+  {
+    util::Table t({"machines", "predicted agg throughput (GiB/s)",
+                   "per-machine (GiB/s)"});
+    for (int machines : {1, 2, 4, 8}) {
+      topology::ClusterOptions co;
+      co.num_machines = machines;
+      const auto spec = topology::make_cluster(co);
+      topology::Placement p;
+      p.gpus_per_group.assign(spec.slot_groups.size(), 1);
+      p.ssds_per_group.assign(spec.slot_groups.size(), 2);
+      const auto o = cluster_workload(machines, 2 * machines);
+      const auto c = placement::evaluate_placement(spec, p, o);
+      t.add_row({std::to_string(machines),
+                 util::Table::num(util::to_gib_per_s(c.score), 1),
+                 util::Table::num(util::to_gib_per_s(c.score) / machines, 1)});
+    }
+    t.print(std::cout);
+    bench::note("per-machine throughput stays flat when placements keep "
+                "traffic node-local: near-linear scale-out.");
+  }
+  return 0;
+}

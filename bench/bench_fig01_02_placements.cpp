@@ -1,0 +1,63 @@
+// Figures 1 & 2 — epoch time of the four classic hardware layouts
+// (GraphSAGE on IGB, 4 GPUs + 8 SSDs) on Machines A and B, plus Moment's
+// optimized layout (Fig. 7 shows it for Machine B).
+
+#include "common.hpp"
+
+using namespace moment;
+
+namespace {
+
+// Paper epoch times in seconds, placements (a)-(d).
+constexpr double kPaperA[] = {15.9, 26.7, 14.9, 24.1};
+constexpr double kPaperB[] = {28.4, 29.7, 18.6, 24.0};
+
+void run_machine(const topology::MachineSpec& spec, const double* paper,
+                 double paper_moment) {
+  const runtime::Workbench wb =
+      runtime::Workbench::make(graph::DatasetId::kIG, bench::kScaleShift, 42);
+
+  util::Table t({"placement", "epoch time (sim)", "paper epoch",
+                 "norm vs (c) sim", "norm vs (c) paper"});
+  double sim_times[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    const char which = static_cast<char>('a' + i);
+    const auto r = bench::run_classic(spec, wb, graph::DatasetId::kIG,
+                                      gnn::ModelKind::kGraphSage, which, 4);
+    sim_times[i] = r.epoch_time_s;
+  }
+  for (int i = 0; i < 4; ++i) {
+    t.add_row({std::string(1, static_cast<char>('a' + i)),
+               util::Table::num(sim_times[i], 1) + " s",
+               util::Table::num(paper[i], 1) + " s",
+               util::Table::speedup(sim_times[i] / sim_times[2]),
+               util::Table::speedup(paper[i] / paper[2])});
+  }
+  // Moment's own placement.
+  runtime::ExperimentConfig c = bench::machine_config(
+      &spec, graph::DatasetId::kIG, gnn::ModelKind::kGraphSage, 4);
+  const auto moment = runtime::run_system(runtime::SystemKind::kMoment, c, wb);
+  t.add_row({"Moment", util::Table::num(moment.epoch_time_s, 1) + " s",
+             paper_moment > 0 ? util::Table::num(paper_moment, 1) + " s" : "-",
+             util::Table::speedup(moment.epoch_time_s / sim_times[2]),
+             paper_moment > 0
+                 ? util::Table::speedup(paper_moment / paper[2])
+                 : "-"});
+
+  std::printf("\n%s (GraphSAGE on IG, 4 GPUs, 8 SSDs)\n", spec.name.c_str());
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figures 1 & 2: classic hardware placements",
+                "paper Figs. 1-2 (epoch times of layouts a-d) and Fig. 7 "
+                "(Moment's Machine-B layout, 13.2 s)");
+  run_machine(topology::make_machine_a(), kPaperA, -1.0);
+  run_machine(topology::make_machine_b(), kPaperB, 13.2);
+  bench::note("shape targets: (c) best among classics on both machines; "
+              "(b)/(d) ~1.6-1.8x worse; on Machine B, (a)~(b) and Moment "
+              "beats (c).");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figures 3 & 4 — M-Hyperion training throughput under the four classic
+// placements on Machines A and B, for the IG and UK datasets.
+// Paper: placement (c) achieves 1.86x over (b) on Machine A and 1.96x on
+// Machine B.
+
+#include "common.hpp"
+
+using namespace moment;
+
+int main() {
+  bench::header("Figures 3 & 4: M-Hyperion throughput across placements",
+                "paper Figs. 3-4 (placement (c) ~1.86x/1.96x over (b))");
+
+  for (const auto& spec :
+       {topology::make_machine_a(), topology::make_machine_b()}) {
+    for (auto dataset : {graph::DatasetId::kIG, graph::DatasetId::kUK}) {
+      const runtime::Workbench wb =
+          runtime::Workbench::make(dataset, bench::kScaleShift, 42);
+      util::Table t({"placement", "throughput (kseeds/s)", "epoch (s)",
+                     "vs (b)"});
+      double results[4] = {};
+      for (int i = 0; i < 4; ++i) {
+        const auto r = bench::run_classic(spec, wb, dataset,
+                                          gnn::ModelKind::kGraphSage,
+                                          static_cast<char>('a' + i), 4);
+        results[i] = r.throughput_seeds_per_s;
+        t.add_row({std::string(1, static_cast<char>('a' + i)),
+                   bench::kseeds(r.throughput_seeds_per_s),
+                   util::Table::num(r.epoch_time_s, 1), ""});
+      }
+      // Fill the ratio column.
+      util::Table t2({"placement", "throughput (kseeds/s)", "vs (b)"});
+      for (int i = 0; i < 4; ++i) {
+        t2.add_row({std::string(1, static_cast<char>('a' + i)),
+                    bench::kseeds(results[i]),
+                    util::Table::speedup(results[i] / results[1])});
+      }
+      std::printf("\n%s / %s (M-Hyperion, 4 GPUs, 8 SSDs)\n",
+                  spec.name.c_str(), graph::dataset_name(dataset));
+      t2.print(std::cout);
+    }
+  }
+  bench::note("paper reference: c/b = 1.86x (Machine A), 1.96x (Machine B).");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figures 5 & 6 — throughput of M-Hyperion and M-GIDS when expanding from 2
+// to 4 GPUs under placement (d). Paper: little or *negative* scaling — the
+// IO bottleneck (Bus 9 saturation, per-GPU SSD partitioning) eats the extra
+// compute.
+
+#include "common.hpp"
+
+using namespace moment;
+
+int main() {
+  bench::header("Figures 5 & 6: GPU expansion 2 -> 4 under placement (d)",
+                "paper Figs. 5-6 (M-Hyperion / M-GIDS, flat or negative "
+                "scaling)");
+
+  const runtime::Workbench wb =
+      runtime::Workbench::make(graph::DatasetId::kIG, bench::kScaleShift, 42);
+
+  for (const auto& spec :
+       {topology::make_machine_a(), topology::make_machine_b()}) {
+    util::Table t({"system", "2 GPUs (kseeds/s)", "4 GPUs (kseeds/s)",
+                   "scaling"});
+    for (auto kind :
+         {runtime::SystemKind::kMHyperion, runtime::SystemKind::kMGids}) {
+      double tput[2] = {};
+      int idx = 0;
+      for (int gpus : {2, 4}) {
+        runtime::ExperimentConfig c = bench::machine_config(
+            &spec, graph::DatasetId::kIG, gnn::ModelKind::kGraphSage, gpus);
+        c.default_classic = 'd';
+        const auto r = runtime::run_system(kind, c, wb);
+        tput[idx++] = r.throughput_seeds_per_s;
+      }
+      t.add_row({runtime::system_name(kind), bench::kseeds(tput[0]),
+                 bench::kseeds(tput[1]),
+                 util::Table::speedup(tput[1] / tput[0])});
+    }
+    std::printf("\n%s (placement d, IG, GraphSAGE)\n", spec.name.c_str());
+    t.print(std::cout);
+  }
+  bench::note("shape target: scaling well below 2x (paper shows ~1x or "
+              "less); M-GIDS suffers most from static SSD partitioning.");
+  return 0;
+}

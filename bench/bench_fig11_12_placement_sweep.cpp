@@ -1,0 +1,57 @@
+// Figures 11 & 12 — throughput of the four classic placements and Moment on
+// Machines A and B, sweeping 2-4 GPUs and both models. Paper: Moment up to
+// 1.54x (Machine A) and 1.63x (Machine B) over the classics.
+
+#include "common.hpp"
+
+using namespace moment;
+
+int main() {
+  bench::header("Figures 11 & 12: classic placements vs Moment",
+                "paper Figs. 11-12 (Moment up to 1.54x / 1.63x)");
+
+  const runtime::Workbench wb =
+      runtime::Workbench::make(graph::DatasetId::kIG, bench::kScaleShift, 42);
+
+  for (const auto& spec :
+       {topology::make_machine_a(), topology::make_machine_b()}) {
+    double best_gain = 0.0;
+    for (auto model : {gnn::ModelKind::kGraphSage, gnn::ModelKind::kGat}) {
+      util::Table t({"GPUs", "a", "b", "c", "d", "Moment", "Moment vs best",
+                     "Moment vs worst"});
+      for (int gpus : {2, 4}) {
+        std::vector<std::string> row{std::to_string(gpus)};
+        double best_classic = 0.0;
+        double worst_classic = 1e300;
+        for (int i = 0; i < 4; ++i) {
+          const auto r = bench::run_classic(spec, wb, graph::DatasetId::kIG,
+                                            model,
+                                            static_cast<char>('a' + i), gpus);
+          best_classic = std::max(best_classic, r.throughput_seeds_per_s);
+          worst_classic = std::min(worst_classic, r.throughput_seeds_per_s);
+          row.push_back(bench::kseeds(r.throughput_seeds_per_s));
+        }
+        runtime::ExperimentConfig c = bench::machine_config(
+            &spec, graph::DatasetId::kIG, model, gpus);
+        const auto moment =
+            runtime::run_system(runtime::SystemKind::kMoment, c, wb);
+        row.push_back(bench::kseeds(moment.throughput_seeds_per_s));
+        row.push_back(util::Table::speedup(moment.throughput_seeds_per_s /
+                                           best_classic));
+        row.push_back(util::Table::speedup(moment.throughput_seeds_per_s /
+                                           worst_classic));
+        best_gain = std::max(best_gain, moment.throughput_seeds_per_s /
+                                            worst_classic);
+        t.add_row(row);
+      }
+      std::printf("\n%s / %s (kseeds/s)\n", spec.name.c_str(),
+                  model == gnn::ModelKind::kGraphSage ? "GraphSAGE" : "GAT");
+      t.print(std::cout);
+    }
+    std::printf("max Moment gain over a classic placement on %s: %s "
+                "(paper: %s)\n",
+                spec.name.c_str(), util::Table::speedup(best_gain).c_str(),
+                spec.name == "MachineA" ? "1.54x" : "1.63x");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 1/3 — evaluated platforms. Prints the machine presets the simulator
+// models (specs from the paper) and their profiled interconnect rates.
+
+#include "common.hpp"
+#include "topology/machine.hpp"
+
+using namespace moment;
+
+int main() {
+  bench::header("Table 1/3: Evaluated platforms",
+                "paper Table 1 (Detailed evaluation platforms)");
+
+  util::Table t({"Machine", "GPU", "SSD", "PCIe", "CPU", "CPU Mem"});
+  t.add_row({"A", "40GB-PCIe-A100 (x4)", "8x 3.84TB Intel P5510", "4.0x16",
+             "2x Xeon Gold 5320", "768 GB"});
+  t.add_row({"B", "40GB-PCIe-A100 (x4)", "8x 3.84TB Intel P5510", "4.0x16",
+             "2x Xeon Gold 6426Y", "512 GB"});
+  t.add_row({"C (cluster, 4x)", "40GB-PCIe-A100 (x1 each)", "-",
+             "3.0x16, 100Gbps net", "2x Xeon Silver 4214", "256 GB each"});
+  t.print(std::cout);
+
+  for (const auto& spec :
+       {topology::make_machine_a(), topology::make_machine_b()}) {
+    std::printf("\n%s — %s\n", spec.name.c_str(), spec.description.c_str());
+    std::printf("%s", spec.skeleton.to_string().c_str());
+    util::Table groups({"slot group", "units", "GPU?", "SSD?", "gen"});
+    for (const auto& g : spec.slot_groups) {
+      groups.add_row({g.name, std::to_string(g.units),
+                      g.allows_gpu ? "yes" : "no", g.allows_ssd ? "yes" : "no",
+                      std::to_string(g.pcie_gen)});
+    }
+    groups.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the figure-reproduction harness. Each bench binary
+// regenerates one paper table/figure: it runs the relevant systems on the
+// scaled datasets and prints the same rows/series the paper reports, next to
+// the paper's reference values where the paper states them.
+//
+// Absolute numbers come from the flow-level simulator, not the authors'
+// testbed; the quantities to compare are the *shapes* — orderings, ratios,
+// crossovers. EXPERIMENTS.md records paper-vs-measured for every figure.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/auto_module.hpp"
+#include "runtime/systems.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace moment::bench {
+
+/// Default dataset scale for benches: fast enough for a laptop-class box,
+/// big enough to keep the skew statistics stable.
+inline constexpr int kScaleShift = 3;
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("NOTE: %s\n", text.c_str());
+}
+
+/// Seeds-per-second throughput in the unit the paper plots (10^3 seeds/s).
+inline std::string kseeds(double seeds_per_s) {
+  return util::Table::num(seeds_per_s / 1000.0, 1);
+}
+
+inline runtime::ExperimentConfig machine_config(
+    const topology::MachineSpec* spec, graph::DatasetId dataset,
+    gnn::ModelKind model, int gpus, int ssds = 8) {
+  runtime::ExperimentConfig c;
+  c.machine = spec;
+  c.dataset = dataset;
+  c.dataset_scale_shift = kScaleShift;
+  c.model = model;
+  c.num_gpus = gpus;
+  c.num_ssds = ssds;
+  return c;
+}
+
+/// Classic-placement baseline run (M-Hyperion runtime under layout `which`).
+inline runtime::SystemResult run_classic(const topology::MachineSpec& spec,
+                                         const runtime::Workbench& bench,
+                                         graph::DatasetId dataset,
+                                         gnn::ModelKind model, char which,
+                                         int gpus, int ssds = 8) {
+  runtime::ExperimentConfig c =
+      machine_config(&spec, dataset, model, gpus, ssds);
+  c.default_classic = which;
+  return runtime::run_system(runtime::SystemKind::kMHyperion, c, bench);
+}
+
+}  // namespace moment::bench

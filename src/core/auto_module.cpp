@@ -1,0 +1,112 @@
+#include "core/auto_module.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/machine_sim.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace moment::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Plan AutoModule::plan(const AutoModuleConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const runtime::Workbench bench = runtime::Workbench::make(
+      config.dataset, config.dataset_scale_shift, config.seed);
+  Plan p = plan(config, bench);
+  p.profile_time_s = seconds_since(t0) - p.search_time_s - p.ddak_time_s;
+  return p;
+}
+
+Plan AutoModule::plan(const AutoModuleConfig& config,
+                      const runtime::Workbench& bench) {
+  if (config.machine == nullptr) {
+    throw std::invalid_argument("AutoModule::plan: machine spec required");
+  }
+  const topology::MachineSpec& spec = *config.machine;
+  Plan plan;
+
+  plan.workload = ddak::make_epoch_workload(bench.dataset, bench.profile,
+                                            config.cache, config.num_gpus);
+
+  // Stage 2: hardware placement — max-flow ranking over the symmetry-reduced
+  // candidate space, refined by fluid simulation of the leaders.
+  auto t_search = std::chrono::steady_clock::now();
+  const runtime::ModelPreset preset = runtime::model_preset(config.model);
+  ddak::CacheConfig cache = config.cache;
+  const runtime::PlacementChoice choice = runtime::choose_moment_placement(
+      spec, bench, plan.workload, config.num_gpus, config.num_ssds,
+      config.nvlink, cache, preset.compute_time_per_batch);
+  plan.hardware_placement = choice.placement;
+  plan.prediction = choice.prediction;
+  plan.candidates_total = choice.candidates_total;
+  plan.candidates_evaluated = choice.candidates_evaluated;
+  plan.predicted_epoch_io_time_s = plan.prediction.epoch_io_time_s;
+  plan.predicted_throughput = plan.prediction.throughput;
+  plan.search_time_s = seconds_since(t_search);
+
+  // Stage 3: DDAK from the winning plan's per-storage flows.
+  auto t_ddak = std::chrono::steady_clock::now();
+  const topology::Topology topo =
+      topology::instantiate(spec, plan.hardware_placement);
+  topology::FlowGraphOptions fopts;
+  fopts.use_nvlink = config.nvlink;
+  const topology::FlowGraph fg = topology::compile_flow_graph(topo, fopts);
+  auto bins = ddak::make_bins(topo, fg, plan.prediction.per_storage_bytes,
+                              bench.dataset.scaled.vertices,
+                              config.cache.gpu_cache_fraction,
+                              config.cache.cpu_cache_fraction);
+  plan.bins = config.cache.gpu_cache_mode == ddak::GpuCacheMode::kReplicated
+                  ? sim::merge_replicated_gpu_bins(bins)
+                  : std::move(bins);
+  plan.bins = sim::merge_replicated_cpu_bins(plan.bins);
+  ddak::DdakOptions dopt;
+  dopt.pool_size = config.ddak_pool_size != 0
+                       ? config.ddak_pool_size
+                       : ddak::default_pool_size(bench.dataset.scaled.vertices);
+  plan.data_placement = ddak::ddak_place(plan.bins, bench.profile, dopt);
+  plan.ddak_time_s = seconds_since(t_ddak);
+  return plan;
+}
+
+std::string Plan::to_string(const topology::MachineSpec& spec) const {
+  std::ostringstream out;
+  out << "Moment plan for " << spec.name << "\n";
+  out << "  placement: "
+      << placement::describe(spec, hardware_placement) << "\n";
+  out << "  search: " << candidates_evaluated << " evaluated of "
+      << candidates_total << " feasible combinations\n";
+  out << "  predicted epoch IO time: " << predicted_epoch_io_time_s << " s ("
+      << util::to_gib_per_s(predicted_throughput) << " GiB/s)\n";
+  util::Table table({"bin", "tier", "capacity(vtx)", "traffic share",
+                     "vertices", "hotness share"});
+  const char* tier_names[] = {"GPU", "CPU", "SSD"};
+  double total_target = 0.0;
+  for (const auto& b : bins) total_target += b.traffic_target;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    table.add_row({bins[i].name, tier_names[static_cast<int>(bins[i].tier)],
+                   util::Table::num(bins[i].capacity_vertices, 0),
+                   util::Table::percent(total_target > 0
+                                            ? bins[i].traffic_target /
+                                                  total_target
+                                            : 0.0),
+                   std::to_string(data_placement.bin_count[i]),
+                   util::Table::percent(data_placement.bin_traffic_share[i])});
+  }
+  out << table.to_string(2);
+  out << "  offline cost: profile " << profile_time_s << " s, search "
+      << search_time_s << " s, DDAK " << ddak_time_s << " s\n";
+  return out.str();
+}
+
+}  // namespace moment::core

@@ -1,0 +1,74 @@
+#pragma once
+// AutoModule — Moment's offline co-optimizer facade (paper Fig. 8):
+//
+//   inputs:  communication topology (MachineSpec), GNN model + sampling
+//            config, dataset
+//   stage 1: pre-sampling hotness profile (Workbench)
+//   stage 2: hardware placement search — enumerate, symmetry-reduce,
+//            max-flow time-bisection per candidate
+//   stage 3: DDAK data placement from the winning plan's storage-node flows
+//
+// The resulting Plan is everything the runtime needs; it is reusable across
+// GNN models and epochs for a fixed hardware set, so its cost amortises
+// exactly as the paper's Section 3.3 argues.
+
+#include <string>
+
+#include "ddak/ddak.hpp"
+#include "ddak/workload.hpp"
+#include "placement/search.hpp"
+#include "runtime/systems.hpp"
+#include "topology/machine.hpp"
+#include "topology/predictor.hpp"
+
+namespace moment::core {
+
+struct AutoModuleConfig {
+  const topology::MachineSpec* machine = nullptr;
+  graph::DatasetId dataset = graph::DatasetId::kIG;
+  int dataset_scale_shift = 2;
+  gnn::ModelKind model = gnn::ModelKind::kGraphSage;
+  int num_gpus = 4;
+  int num_ssds = 8;
+  bool nvlink = false;
+  ddak::CacheConfig cache;
+  /// DDAK pooling granularity; 0 = auto-scale to the dataset (the paper's
+  /// n = 100 corresponds to ~1e-6 of a paper-scale graph's vertices).
+  std::size_t ddak_pool_size = 0;
+  std::uint64_t seed = 42;
+};
+
+struct Plan {
+  topology::Placement hardware_placement;
+  topology::Prediction prediction;      // under the chosen placement
+  ddak::EpochWorkload workload;
+  std::vector<ddak::Bin> bins;          // replicated-GPU-merged when apt
+  ddak::DataPlacementResult data_placement;
+
+  // Search telemetry (paper's search-space reduction claims).
+  std::size_t candidates_total = 0;
+  std::size_t candidates_evaluated = 0;
+  double predicted_epoch_io_time_s = 0.0;
+  double predicted_throughput = 0.0;  // bytes/s
+
+  // Offline cost breakdown (paper Section 3.3 "Pre-processing Cost").
+  double profile_time_s = 0.0;
+  double search_time_s = 0.0;
+  double ddak_time_s = 0.0;
+  double total_time_s() const noexcept {
+    return profile_time_s + search_time_s + ddak_time_s;
+  }
+
+  std::string to_string(const topology::MachineSpec& spec) const;
+};
+
+class AutoModule {
+ public:
+  /// Full pipeline: profiles the dataset, searches placements, runs DDAK.
+  static Plan plan(const AutoModuleConfig& config);
+  /// Same but with a pre-built workbench (shared across sweeps).
+  static Plan plan(const AutoModuleConfig& config,
+                   const runtime::Workbench& bench);
+};
+
+}  // namespace moment::core

@@ -1,0 +1,25 @@
+#pragma once
+// Plan persistence: the AutoModule output is an offline artifact ("run once
+// per model/hardware configuration and reused across runs", paper Section
+// 3.3), so it must survive the planning process. A simple line-oriented text
+// format holds the hardware placement, the bin set with traffic targets, and
+// the per-vertex data placement.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/auto_module.hpp"
+
+namespace moment::core {
+
+/// Writes the plan's placement decisions. The prediction and timings are
+/// written as comments (informational; not re-loaded).
+void save_plan(const Plan& plan, std::ostream& out);
+void save_plan_file(const Plan& plan, const std::string& path);
+
+/// Reloads a plan's decisions (hardware placement, bins, data placement).
+/// Prediction/telemetry fields are left default — re-predict if needed.
+Plan load_plan(std::istream& in);
+Plan load_plan_file(const std::string& path);
+
+}  // namespace moment::core

@@ -1,0 +1,59 @@
+#include "gnn/block.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace moment::gnn {
+
+std::vector<Block> build_blocks(const sampling::SampledSubgraph& sg) {
+  const std::size_t hops = sg.layers.size();
+  std::vector<Block> blocks(hops);
+
+  for (std::size_t k = 0; k < hops; ++k) {
+    const auto& layer = sg.layers[hops - 1 - k];
+    Block& block = blocks[k];
+    block.dst_ids = layer.dst_vertices;  // already sorted by the sampler
+
+    // src set = dst set plus every edge source.
+    std::vector<VertexId> srcs = block.dst_ids;
+    for (const auto& [dst, src] : layer.edges) {
+      (void)dst;
+      srcs.push_back(src);
+    }
+    std::sort(srcs.begin(), srcs.end());
+    srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+    block.src_ids = std::move(srcs);
+
+    std::unordered_map<VertexId, int> src_index;
+    src_index.reserve(block.src_ids.size() * 2);
+    for (std::size_t i = 0; i < block.src_ids.size(); ++i) {
+      src_index.emplace(block.src_ids[i], static_cast<int>(i));
+    }
+    std::unordered_map<VertexId, int> dst_index;
+    dst_index.reserve(block.dst_ids.size() * 2);
+    block.dst_in_src.resize(block.dst_ids.size());
+    for (std::size_t i = 0; i < block.dst_ids.size(); ++i) {
+      dst_index.emplace(block.dst_ids[i], static_cast<int>(i));
+      block.dst_in_src[i] = src_index.at(block.dst_ids[i]);
+    }
+
+    block.edges.reserve(layer.edges.size());
+    for (const auto& [dst, src] : layer.edges) {
+      block.edges.emplace_back(dst_index.at(dst), src_index.at(src));
+    }
+  }
+
+  // Sanity: consecutive blocks must chain (next block's srcs are produced by
+  // this block's dsts).
+  for (std::size_t k = 0; k + 1 < blocks.size(); ++k) {
+    if (!std::includes(blocks[k].dst_ids.begin(), blocks[k].dst_ids.end(),
+                       blocks[k + 1].src_ids.begin(),
+                       blocks[k + 1].src_ids.end())) {
+      throw std::logic_error("build_blocks: block chaining violated");
+    }
+  }
+  return blocks;
+}
+
+}  // namespace moment::gnn

@@ -1,0 +1,32 @@
+#pragma once
+// Message-passing blocks: the bipartite (src -> dst) compute structures built
+// from a SampledSubgraph, mirroring DGL's `to_block`. blocks[0] is applied
+// first (widest frontier, raw features); blocks.back() produces seed outputs.
+
+#include <utility>
+#include <vector>
+
+#include "sampling/neighbor_sampler.hpp"
+
+namespace moment::gnn {
+
+using graph::VertexId;
+
+struct Block {
+  std::vector<VertexId> src_ids;  // sorted global vertex ids
+  std::vector<VertexId> dst_ids;  // sorted; subset of src_ids
+  /// dst_in_src[i] = position of dst_ids[i] within src_ids (self features).
+  std::vector<int> dst_in_src;
+  /// Edges as (dst_local, src_local) index pairs.
+  std::vector<std::pair<int, int>> edges;
+
+  std::size_t num_src() const noexcept { return src_ids.size(); }
+  std::size_t num_dst() const noexcept { return dst_ids.size(); }
+};
+
+/// Builds application-ordered blocks. blocks[k] corresponds to sampled hop
+/// (L-1-k): its dst set is that hop's frontier, its src set the next wider
+/// frontier. The final block's dst set equals the seeds.
+std::vector<Block> build_blocks(const sampling::SampledSubgraph& sg);
+
+}  // namespace moment::gnn

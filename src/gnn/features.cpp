@@ -1,0 +1,23 @@
+#include "gnn/features.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moment::gnn {
+
+void InMemoryFeatures::gather(std::span<const graph::VertexId> vertices,
+                              Tensor& out) {
+  if (out.rows() != vertices.size() || out.cols() != features_.cols()) {
+    throw std::invalid_argument("InMemoryFeatures::gather: shape mismatch");
+  }
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const graph::VertexId v = vertices[i];
+    if (v >= features_.rows()) {
+      throw std::out_of_range("InMemoryFeatures::gather: vertex id");
+    }
+    const auto src = features_.row(v);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+}
+
+}  // namespace moment::gnn

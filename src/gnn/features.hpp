@@ -1,0 +1,36 @@
+#pragma once
+// Feature providers: where vertex embeddings come from. The in-memory
+// provider backs tests; the IO-stack provider (iostack/feature_store.hpp)
+// pulls them through the simulated NVMe path, exercising the same interface.
+
+#include <span>
+
+#include "gnn/tensor.hpp"
+#include "graph/csr.hpp"
+
+namespace moment::gnn {
+
+class FeatureProvider {
+ public:
+  virtual ~FeatureProvider() = default;
+  virtual std::size_t dim() const = 0;
+  /// Fills `out` (vertices.size() x dim()) with the features of `vertices`.
+  virtual void gather(std::span<const graph::VertexId> vertices,
+                      Tensor& out) = 0;
+};
+
+class InMemoryFeatures final : public FeatureProvider {
+ public:
+  explicit InMemoryFeatures(Tensor features) : features_(std::move(features)) {}
+
+  std::size_t dim() const override { return features_.cols(); }
+  void gather(std::span<const graph::VertexId> vertices,
+              Tensor& out) override;
+
+  const Tensor& tensor() const noexcept { return features_; }
+
+ private:
+  Tensor features_;
+};
+
+}  // namespace moment::gnn

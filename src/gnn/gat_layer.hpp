@@ -1,0 +1,56 @@
+#pragma once
+// Graph Attention Network layer (Velickovic et al.), multi-head with
+// concatenation — the paper's compute-heavy model (hidden 64, 8 heads).
+//
+//   z_j   = W_h x_j                       (per head h)
+//   e_ij  = LeakyReLU(a_l . z_i + a_r . z_j)
+//   alpha = softmax_j(e_ij)  (per dst i)
+//   h_i   = ELU( concat_h( sum_j alpha_ij z_j ) + b )
+//
+// Full forward/backward over a Block, including attention softmax backward.
+
+#include "gnn/block.hpp"
+#include "gnn/param.hpp"
+
+namespace moment::gnn {
+
+class GatLayer final : public Module {
+ public:
+  GatLayer(std::size_t in_dim, std::size_t num_heads, std::size_t head_dim,
+           bool apply_elu, util::Pcg32& rng);
+
+  Tensor forward(const Block& block, const Tensor& x_src);
+  Tensor backward(const Block& block, const Tensor& grad_out);
+
+  std::vector<Param*> parameters() override {
+    return {&w_, &attn_l_, &attn_r_, &bias_};
+  }
+
+  std::size_t in_dim() const noexcept { return in_dim_; }
+  std::size_t out_dim() const noexcept { return num_heads_ * head_dim_; }
+  std::size_t num_heads() const noexcept { return num_heads_; }
+
+  static constexpr float kLeakySlope = 0.2f;
+
+ private:
+  std::size_t in_dim_, num_heads_, head_dim_;
+  bool apply_elu_;
+  Param w_;       // (in_dim x heads*head_dim), heads column-blocked
+  Param attn_l_;  // (heads x head_dim)
+  Param attn_r_;  // (heads x head_dim)
+  Param bias_;    // (1 x heads*head_dim)
+
+  // Saved state for backward.
+  Tensor saved_x_src_;
+  Tensor saved_z_;               // (num_src x heads*head_dim)
+  Tensor saved_pre_;             // pre-ELU output (num_dst x heads*head_dim)
+  std::vector<float> saved_alpha_;   // per (edge, head)
+  std::vector<float> saved_score_;   // pre-LeakyReLU logits per (edge, head)
+  std::vector<std::vector<int>> edges_by_dst_;  // edge indices grouped by dst
+};
+
+/// ELU and its derivative (alpha = 1).
+float elu_scalar(float x) noexcept;
+float elu_grad_from_out(float out) noexcept;
+
+}  // namespace moment::gnn

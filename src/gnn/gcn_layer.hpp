@@ -1,0 +1,43 @@
+#pragma once
+// Graph Convolutional Network layer (Kipf & Welling) — the third model the
+// paper's Fig. 8 lists as an AutoModule input. Symmetric-normalized
+// aggregation over a block with implicit self loops:
+//
+//   h_i = act( sum_{j in N(i) u {i}}  x_j W / sqrt(d_i * d_j)  + b )
+//
+// where d are in-block degrees (+1 for the self loop). Full
+// forward/backward.
+
+#include "gnn/block.hpp"
+#include "gnn/param.hpp"
+
+namespace moment::gnn {
+
+class GcnLayer final : public Module {
+ public:
+  GcnLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu,
+           util::Pcg32& rng);
+
+  Tensor forward(const Block& block, const Tensor& x_src);
+  Tensor backward(const Block& block, const Tensor& grad_out);
+
+  std::vector<Param*> parameters() override { return {&w_, &bias_}; }
+
+  std::size_t in_dim() const noexcept { return in_dim_; }
+  std::size_t out_dim() const noexcept { return out_dim_; }
+
+ private:
+  /// In-block degree (+1 self loop) per dst; src degrees approximated by the
+  /// dst degree when the src is also a dst, else 1 (frontier leaves).
+  std::vector<double> dst_degree(const Block& block) const;
+
+  std::size_t in_dim_, out_dim_;
+  bool apply_relu_;
+  Param w_, bias_;
+
+  Tensor saved_agg_;   // normalized aggregation (num_dst x in)
+  Tensor saved_out_;   // post-activation
+  std::vector<float> saved_coeff_;  // per edge (+ per dst self coeff appended)
+};
+
+}  // namespace moment::gnn

@@ -1,0 +1,121 @@
+#include "gnn/model.hpp"
+
+#include <stdexcept>
+
+namespace moment::gnn {
+
+GnnModel::GnnModel(const ModelConfig& config) : config_(config) {
+  util::Pcg32 rng(config.seed, 0x4d4f444c);  // "MODL"
+  if (config.num_hops == 0) {
+    throw std::invalid_argument("GnnModel: num_hops must be >= 1");
+  }
+  if (config.kind == ModelKind::kGraphSage ||
+      config.kind == ModelKind::kGcn) {
+    std::size_t in = config.in_dim;
+    for (std::size_t l = 0; l < config.num_hops; ++l) {
+      const bool last = l + 1 == config.num_hops;
+      const std::size_t out = last ? config.num_classes : config.hidden_dim;
+      if (config.kind == ModelKind::kGraphSage) {
+        layers_.push_back(
+            std::make_unique<SageGnnLayer>(in, out, /*relu=*/!last, rng));
+      } else {
+        layers_.push_back(
+            std::make_unique<GcnGnnLayer>(in, out, /*relu=*/!last, rng));
+      }
+      in = out;
+    }
+  } else {
+    // GAT: hidden layers use `gat_heads` heads of dim hidden_dim (concat);
+    // the output layer is single-head onto the class logits.
+    std::size_t in = config.in_dim;
+    for (std::size_t l = 0; l < config.num_hops; ++l) {
+      const bool last = l + 1 == config.num_hops;
+      if (last) {
+        layers_.push_back(std::make_unique<GatGnnLayer>(
+            in, 1, config.num_classes, /*elu=*/false, rng));
+        in = config.num_classes;
+      } else {
+        layers_.push_back(std::make_unique<GatGnnLayer>(
+            in, config.gat_heads, config.hidden_dim, /*elu=*/true, rng));
+        in = config.gat_heads * config.hidden_dim;
+      }
+    }
+  }
+}
+
+Tensor GnnModel::forward(std::span<const Block> blocks, const Tensor& x0) {
+  if (blocks.size() != layers_.size()) {
+    throw std::invalid_argument("GnnModel::forward: block/layer mismatch");
+  }
+  Tensor h = x0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor out = layers_[l]->forward(blocks[l], h);
+    if (l + 1 < layers_.size()) {
+      // The next block's src set is a subset of this block's dst set; gather.
+      const Block& cur = blocks[l];
+      const Block& next = blocks[l + 1];
+      Tensor gathered(next.num_src(), out.cols());
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < next.src_ids.size(); ++i) {
+        while (cursor < cur.dst_ids.size() &&
+               cur.dst_ids[cursor] < next.src_ids[i]) {
+          ++cursor;
+        }
+        if (cursor >= cur.dst_ids.size() ||
+            cur.dst_ids[cursor] != next.src_ids[i]) {
+          throw std::logic_error("GnnModel: block chaining broken");
+        }
+        std::copy(out.row(cursor).begin(), out.row(cursor).end(),
+                  gathered.row(i).begin());
+      }
+      h = std::move(gathered);
+    } else {
+      h = std::move(out);
+    }
+  }
+  return h;
+}
+
+void GnnModel::backward(std::span<const Block> blocks, const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    Tensor gin = layers_[l]->backward(blocks[l], g);
+    if (l > 0) {
+      // Scatter gin (defined on blocks[l].src_ids) back onto the previous
+      // block's dst rows.
+      const Block& prev = blocks[l - 1];
+      const Block& cur = blocks[l];
+      Tensor scattered(prev.num_dst(), gin.cols());
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < cur.src_ids.size(); ++i) {
+        while (cursor < prev.dst_ids.size() &&
+               prev.dst_ids[cursor] < cur.src_ids[i]) {
+          ++cursor;
+        }
+        std::copy(gin.row(i).begin(), gin.row(i).end(),
+                  scattered.row(cursor).begin());
+      }
+      g = std::move(scattered);
+    }
+  }
+}
+
+std::vector<Param*> GnnModel::parameters() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t GnnModel::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    for (Param* p : const_cast<GnnLayer&>(*layer).parameters()) {
+      n += p->value.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace moment::gnn

@@ -1,0 +1,46 @@
+#pragma once
+// Optimizers: SGD (+momentum) and Adam, operating on registered Params.
+
+#include <vector>
+
+#include "gnn/param.hpp"
+
+namespace moment::gnn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace moment::gnn

@@ -1,0 +1,35 @@
+#pragma once
+// Trainable parameter: value + gradient, registered with an optimizer.
+
+#include <string>
+#include <vector>
+
+#include "gnn/tensor.hpp"
+
+namespace moment::gnn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() noexcept { grad.zero(); }
+};
+
+/// Anything with trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::vector<Param*> parameters() = 0;
+
+  void zero_grad() {
+    for (Param* p : parameters()) p->zero_grad();
+  }
+};
+
+}  // namespace moment::gnn

@@ -1,0 +1,92 @@
+#include "gnn/sage_layer.hpp"
+
+#include <stdexcept>
+
+namespace moment::gnn {
+
+SageLayer::SageLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu,
+                     util::Pcg32& rng)
+    : in_dim_(in_dim), out_dim_(out_dim), apply_relu_(apply_relu),
+      w_self_("w_self", Tensor::glorot(in_dim, out_dim, rng)),
+      w_neigh_("w_neigh", Tensor::glorot(in_dim, out_dim, rng)),
+      bias_("bias", Tensor::zeros(1, out_dim)) {}
+
+Tensor SageLayer::forward(const Block& block, const Tensor& x_src) {
+  if (x_src.rows() != block.num_src() || x_src.cols() != in_dim_) {
+    throw std::invalid_argument("SageLayer::forward: x_src shape mismatch");
+  }
+  const std::size_t nd = block.num_dst();
+
+  // Gather self features and compute neighbor means.
+  saved_x_dst_ = Tensor(nd, in_dim_);
+  saved_mean_ = Tensor(nd, in_dim_);
+  std::vector<std::size_t> degree(nd, 0);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const auto src_row =
+        x_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
+    std::copy(src_row.begin(), src_row.end(), saved_x_dst_.row(i).begin());
+  }
+  for (const auto& [dst, src] : block.edges) {
+    const auto d = static_cast<std::size_t>(dst);
+    const auto src_row = x_src.row(static_cast<std::size_t>(src));
+    auto mean_row = saved_mean_.row(d);
+    for (std::size_t c = 0; c < in_dim_; ++c) mean_row[c] += src_row[c];
+    ++degree[d];
+  }
+  saved_inv_degree_.assign(nd, 0.0f);
+  for (std::size_t i = 0; i < nd; ++i) {
+    if (degree[i] > 0) {
+      saved_inv_degree_[i] = 1.0f / static_cast<float>(degree[i]);
+      auto mean_row = saved_mean_.row(i);
+      for (std::size_t c = 0; c < in_dim_; ++c) {
+        mean_row[c] *= saved_inv_degree_[i];
+      }
+    }
+  }
+
+  Tensor out(nd, out_dim_);
+  matmul(saved_x_dst_, w_self_.value, out);
+  matmul(saved_mean_, w_neigh_.value, out, /*accumulate=*/true);
+  add_bias(out, bias_.value);
+  if (apply_relu_) relu(out);
+  saved_out_ = out;
+  return out;
+}
+
+Tensor SageLayer::backward(const Block& block, const Tensor& grad_out) {
+  if (grad_out.rows() != block.num_dst() || grad_out.cols() != out_dim_) {
+    throw std::invalid_argument("SageLayer::backward: grad shape mismatch");
+  }
+  Tensor grad = grad_out;
+  if (apply_relu_) relu_backward(saved_out_, grad);
+
+  // Parameter gradients.
+  matmul_at(saved_x_dst_, grad, w_self_.grad, /*accumulate=*/true);
+  matmul_at(saved_mean_, grad, w_neigh_.grad, /*accumulate=*/true);
+  bias_grad(grad, bias_.grad);
+
+  // Input gradients: self part scatters to dst positions; neighbor part
+  // scatters grad @ W_neigh^T / degree along edges.
+  Tensor grad_self(block.num_dst(), in_dim_);
+  matmul_bt(grad, w_self_.value, grad_self);
+  Tensor grad_mean(block.num_dst(), in_dim_);
+  matmul_bt(grad, w_neigh_.value, grad_mean);
+
+  Tensor grad_src(block.num_src(), in_dim_);
+  for (std::size_t i = 0; i < block.num_dst(); ++i) {
+    auto dst_row = grad_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
+    const auto g = grad_self.row(i);
+    for (std::size_t c = 0; c < in_dim_; ++c) dst_row[c] += g[c];
+  }
+  for (const auto& [dst, src] : block.edges) {
+    const auto d = static_cast<std::size_t>(dst);
+    const float inv = saved_inv_degree_[d];
+    if (inv == 0.0f) continue;
+    auto src_row = grad_src.row(static_cast<std::size_t>(src));
+    const auto g = grad_mean.row(d);
+    for (std::size_t c = 0; c < in_dim_; ++c) src_row[c] += inv * g[c];
+  }
+  return grad_src;
+}
+
+}  // namespace moment::gnn

@@ -1,0 +1,43 @@
+#pragma once
+// GraphSAGE layer with mean aggregation (Hamilton et al., the paper's primary
+// model): h_dst = act(W_self x_dst + W_neigh mean_{src in N(dst)} x_src + b).
+// Full forward/backward over a Block.
+
+#include "gnn/block.hpp"
+#include "gnn/param.hpp"
+
+namespace moment::gnn {
+
+class SageLayer final : public Module {
+ public:
+  SageLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu,
+            util::Pcg32& rng);
+
+  /// x_src: (block.num_src() x in_dim). Returns (block.num_dst() x out_dim).
+  Tensor forward(const Block& block, const Tensor& x_src);
+
+  /// grad_out: gradient w.r.t. forward's return. Returns gradient w.r.t.
+  /// x_src and accumulates parameter gradients. Must follow a forward() on
+  /// the same block.
+  Tensor backward(const Block& block, const Tensor& grad_out);
+
+  std::vector<Param*> parameters() override {
+    return {&w_self_, &w_neigh_, &bias_};
+  }
+
+  std::size_t in_dim() const noexcept { return in_dim_; }
+  std::size_t out_dim() const noexcept { return out_dim_; }
+
+ private:
+  std::size_t in_dim_, out_dim_;
+  bool apply_relu_;
+  Param w_self_, w_neigh_, bias_;
+
+  // Saved activations for backward.
+  Tensor saved_x_dst_;   // (num_dst x in)
+  Tensor saved_mean_;    // (num_dst x in)
+  Tensor saved_out_;     // (num_dst x out), post-activation
+  std::vector<float> saved_inv_degree_;  // per dst
+};
+
+}  // namespace moment::gnn

@@ -1,0 +1,51 @@
+#include "gnn/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace moment::gnn {
+
+namespace {
+
+/// Box-Muller gaussian from the deterministic generator.
+float gaussian(util::Pcg32& rng) {
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                            std::cos(2.0 * 3.14159265358979323846 * u2));
+}
+
+}  // namespace
+
+SyntheticTask make_synthetic_task(const graph::CsrGraph& graph,
+                                  std::size_t num_classes, std::size_t dim,
+                                  double noise_stddev, std::uint64_t seed) {
+  if (num_classes == 0 || dim == 0) {
+    throw std::invalid_argument("make_synthetic_task: zero classes/dim");
+  }
+  const std::size_t n = graph.num_vertices();
+  SyntheticTask task;
+  task.num_classes = num_classes;
+  task.labels.resize(n);
+  task.features = Tensor(n, dim);
+
+  util::Pcg32 rng(seed, 0x53594e54);  // "SYNT"
+  Tensor centroids(num_classes, dim);
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    centroids.data()[i] = gaussian(rng);
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto label =
+        static_cast<std::int32_t>(v * num_classes / std::max<std::size_t>(n, 1));
+    task.labels[v] = label;
+    const auto c = centroids.row(static_cast<std::size_t>(label));
+    auto f = task.features.row(v);
+    for (std::size_t d = 0; d < dim; ++d) {
+      f[d] = c[d] + static_cast<float>(noise_stddev) * gaussian(rng);
+    }
+  }
+  return task;
+}
+
+}  // namespace moment::gnn

@@ -1,0 +1,25 @@
+#pragma once
+// Synthetic node-classification task for the UK/CL-style datasets whose
+// features the paper generates manually: class-centroid features plus noise,
+// with labels assigned in contiguous vertex ranges (RMAT locality makes
+// neighborhoods label-correlated, so GNN training measurably learns).
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/tensor.hpp"
+#include "graph/csr.hpp"
+
+namespace moment::gnn {
+
+struct SyntheticTask {
+  std::vector<std::int32_t> labels;  // per vertex
+  Tensor features;                   // (num_vertices x dim)
+  std::size_t num_classes = 0;
+};
+
+SyntheticTask make_synthetic_task(const graph::CsrGraph& graph,
+                                  std::size_t num_classes, std::size_t dim,
+                                  double noise_stddev, std::uint64_t seed);
+
+}  // namespace moment::gnn

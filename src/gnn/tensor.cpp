@@ -1,0 +1,154 @@
+#include "gnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace moment::gnn {
+
+Tensor Tensor::glorot(std::size_t rows, std::size_t cols, util::Pcg32& rng) {
+  Tensor t(rows, cols);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] =
+        static_cast<float>(rng.next_double(-limit, limit));
+  }
+  return t;
+}
+
+float Tensor::norm() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Tensor::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) noexcept {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+namespace {
+
+void check_out(const Tensor& out, std::size_t m, std::size_t n) {
+  if (out.rows() != m || out.cols() != n) {
+    throw std::invalid_argument("matmul: output shape mismatch");
+  }
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dims");
+  check_out(out, a.rows(), b.cols());
+  if (!accumulate) out.zero();
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_bt: dims");
+  check_out(out, a.rows(), b.rows());
+  if (!accumulate) out.zero();
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at: dims");
+  check_out(out, a.cols(), b.cols());
+  if (!accumulate) out.zero();
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* brow = b.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_bias(Tensor& x, const Tensor& bias) {
+  if (bias.rows() != 1 || bias.cols() != x.cols()) {
+    throw std::invalid_argument("add_bias: shape mismatch");
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += bias.at(0, c);
+  }
+}
+
+void bias_grad(const Tensor& grad, Tensor& grad_bias) {
+  if (grad_bias.rows() != 1 || grad_bias.cols() != grad.cols()) {
+    throw std::invalid_argument("bias_grad: shape mismatch");
+  }
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    const float* row = grad.data() + r * grad.cols();
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      grad_bias.at(0, c) += row[c];
+    }
+  }
+}
+
+void relu(Tensor& x) noexcept {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = std::max(0.0f, x.data()[i]);
+  }
+}
+
+void relu_backward(const Tensor& activated, Tensor& grad) noexcept {
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (activated.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  }
+}
+
+float leaky_relu_scalar(float x, float slope) noexcept {
+  return x > 0.0f ? x : slope * x;
+}
+
+void softmax_rows(Tensor& x) noexcept {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    float mx = row[0];
+    for (std::size_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace moment::gnn

@@ -1,0 +1,91 @@
+#pragma once
+// Minimal dense 2-D float tensor for the CPU GNN substrate. Row-major,
+// value-semantic, with the handful of BLAS-ish kernels the GraphSAGE/GAT
+// layers need. Deliberately small: this is the training substrate the
+// paper's system runs on top of, not a general ML framework.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moment::gnn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) {
+    return Tensor(rows, cols);
+  }
+  /// Glorot/Xavier-uniform initialisation.
+  static Tensor glorot(std::size_t rows, std::size_t cols, util::Pcg32& rng);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  float& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+  void zero() noexcept { fill(0.0f); }
+
+  /// Frobenius norm; used by gradient-check tests and clipping.
+  float norm() const noexcept;
+
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator*=(float s) noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a @ b. Shapes (m,k) x (k,n) -> (m,n). `accumulate` adds into out.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            bool accumulate = false);
+/// out = a @ b^T. Shapes (m,k) x (n,k) -> (m,n).
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate = false);
+/// out = a^T @ b. Shapes (m,k) x (m,n) -> (k,n).
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate = false);
+
+/// Adds `bias` (1 x n) to every row of `x` (m x n) in place.
+void add_bias(Tensor& x, const Tensor& bias);
+/// grad_bias (1 x n) += column sums of grad (m x n).
+void bias_grad(const Tensor& grad, Tensor& grad_bias);
+
+void relu(Tensor& x) noexcept;
+/// grad *= 1[activation > 0], where `activated` is the post-ReLU tensor.
+void relu_backward(const Tensor& activated, Tensor& grad) noexcept;
+
+float leaky_relu_scalar(float x, float slope) noexcept;
+
+/// Row-wise softmax in place.
+void softmax_rows(Tensor& x) noexcept;
+
+}  // namespace moment::gnn

@@ -1,0 +1,57 @@
+#include "gnn/trainer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gnn/block.hpp"
+
+namespace moment::gnn {
+
+TrainStepResult Trainer::step(const sampling::SampledSubgraph& sg,
+                              std::span<const std::int32_t> labels) {
+  return run(sg, labels, /*train=*/true);
+}
+
+TrainStepResult Trainer::evaluate(const sampling::SampledSubgraph& sg,
+                                  std::span<const std::int32_t> labels) {
+  return run(sg, labels, /*train=*/false);
+}
+
+TrainStepResult Trainer::run(const sampling::SampledSubgraph& sg,
+                             std::span<const std::int32_t> labels,
+                             bool train) {
+  const std::vector<Block> blocks = build_blocks(sg);
+  if (blocks.empty()) throw std::invalid_argument("Trainer: no blocks");
+
+  // Feature extraction for the widest frontier.
+  Tensor x0(blocks[0].num_src(), features_.dim());
+  features_.gather(blocks[0].src_ids, x0);
+
+  Tensor logits = model_.forward(blocks, x0);
+
+  // Seed labels: blocks.back().dst_ids are the seeds (sorted).
+  std::vector<std::int32_t> seed_labels;
+  seed_labels.reserve(blocks.back().dst_ids.size());
+  for (graph::VertexId v : blocks.back().dst_ids) {
+    if (v >= labels.size()) {
+      throw std::out_of_range("Trainer: label table too small");
+    }
+    seed_labels.push_back(labels[v]);
+  }
+
+  LossResult loss = softmax_cross_entropy(logits, seed_labels);
+  if (train) {
+    optimizer_.zero_grad();
+    model_.backward(blocks, loss.grad_logits);
+    optimizer_.step();
+  }
+
+  TrainStepResult result;
+  result.loss = loss.loss;
+  result.accuracy = loss.accuracy;
+  result.fetched_vertices = blocks[0].num_src();
+  result.sampled_edges = sg.num_sampled_edges();
+  return result;
+}
+
+}  // namespace moment::gnn

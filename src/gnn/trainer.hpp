@@ -1,0 +1,47 @@
+#pragma once
+// Single-GPU training step: sample -> gather features -> forward -> loss ->
+// backward -> optimizer step. The multi-GPU data-parallel loop (runtime
+// module) wraps this with gradient averaging.
+
+#include <cstdint>
+#include <span>
+
+#include "gnn/features.hpp"
+#include "gnn/loss.hpp"
+#include "gnn/model.hpp"
+#include "gnn/optimizer.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace moment::gnn {
+
+struct TrainStepResult {
+  float loss = 0.0f;
+  float accuracy = 0.0f;
+  std::size_t fetched_vertices = 0;  // feature gathers (traffic proxy)
+  std::size_t sampled_edges = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(GnnModel& model, Optimizer& optimizer, FeatureProvider& features)
+      : model_(model), optimizer_(optimizer), features_(features) {}
+
+  /// Runs one optimisation step on a sampled subgraph. `labels` indexes by
+  /// global vertex id.
+  TrainStepResult step(const sampling::SampledSubgraph& sg,
+                       std::span<const std::int32_t> labels);
+
+  /// Forward-only evaluation on a sampled subgraph.
+  TrainStepResult evaluate(const sampling::SampledSubgraph& sg,
+                           std::span<const std::int32_t> labels);
+
+ private:
+  TrainStepResult run(const sampling::SampledSubgraph& sg,
+                      std::span<const std::int32_t> labels, bool train);
+
+  GnnModel& model_;
+  Optimizer& optimizer_;
+  FeatureProvider& features_;
+};
+
+}  // namespace moment::gnn

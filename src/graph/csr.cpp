@@ -1,0 +1,106 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace moment::graph {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges, bool add_reverse) {
+  CsrGraph g;
+  g.num_vertices_ = edges.num_vertices;
+  const std::size_t m =
+      edges.edges.size() * (add_reverse ? 2 : 1);
+  g.offsets_.assign(static_cast<std::size_t>(g.num_vertices_) + 1, 0);
+
+  for (const auto& [u, v] : edges.edges) {
+    if (u >= g.num_vertices_ || v >= g.num_vertices_) {
+      throw std::out_of_range("CsrGraph::from_edges: vertex id out of range");
+    }
+    ++g.offsets_[u + 1];
+    if (add_reverse) ++g.offsets_[v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  g.adj_.resize(m);
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges.edges) {
+    g.adj_[cursor[u]++] = v;
+    if (add_reverse) g.adj_[cursor[v]++] = u;
+  }
+  return g;
+}
+
+std::size_t CsrGraph::topology_bytes() const noexcept {
+  return offsets_.size() * sizeof(EdgeIndex) + adj_.size() * sizeof(VertexId);
+}
+
+void CsrGraph::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("CsrGraph::save: cannot open " + path);
+  const std::uint64_t magic = 0x4d4f4d47525048ULL;  // "MOMGRPH"
+  const std::uint64_t n = num_vertices_;
+  const std::uint64_t m = adj_.size();
+  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+            std::fwrite(&m, sizeof(m), 1, f) == 1 &&
+            (offsets_.empty() ||
+             std::fwrite(offsets_.data(), sizeof(EdgeIndex), offsets_.size(),
+                         f) == offsets_.size()) &&
+            (adj_.empty() || std::fwrite(adj_.data(), sizeof(VertexId),
+                                         adj_.size(), f) == adj_.size());
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("CsrGraph::save: short write to " + path);
+}
+
+CsrGraph CsrGraph::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("CsrGraph::load: cannot open " + path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  CsrGraph g;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fread(&n, sizeof(n), 1, f) == 1 &&
+            std::fread(&m, sizeof(m), 1, f) == 1;
+  if (ok && magic == 0x4d4f4d47525048ULL) {
+    g.num_vertices_ = static_cast<VertexId>(n);
+    g.offsets_.resize(n + 1);
+    g.adj_.resize(m);
+    ok = std::fread(g.offsets_.data(), sizeof(EdgeIndex), g.offsets_.size(),
+                    f) == g.offsets_.size() &&
+         (m == 0 || std::fread(g.adj_.data(), sizeof(VertexId), g.adj_.size(),
+                               f) == g.adj_.size());
+  } else {
+    ok = false;
+  }
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("CsrGraph::load: bad file " + path);
+  return g;
+}
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<double> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = static_cast<double>(g.degree(v));
+  }
+  auto summary = util::summarize(degrees);
+  s.mean = summary.mean;
+  s.max = summary.max;
+  s.gini = util::gini(degrees);
+
+  std::vector<double> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, n / 100);
+  const double top_sum =
+      std::accumulate(sorted.begin(), sorted.begin() + static_cast<long>(top), 0.0);
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  s.top1pct_share = total > 0 ? top_sum / total : 0.0;
+  return s;
+}
+
+}  // namespace moment::graph

@@ -1,0 +1,73 @@
+#pragma once
+// Compressed-sparse-row graph: the storage format used by the sampler, the
+// hotness profiler and the training runtime. Immutable after construction.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace moment::graph {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+
+/// An edge list (source, destination) used as the construction input.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+/// Immutable CSR adjacency. Out-neighbors of v are
+/// `adj[offsets[v] .. offsets[v+1])`.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list; duplicate edges are kept (multigraph semantics
+  /// match sampling-with-replacement workloads). If `add_reverse`, every edge
+  /// is also inserted in the opposite direction (undirected view).
+  static CsrGraph from_edges(const EdgeList& edges, bool add_reverse = false);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  EdgeIndex num_edges() const noexcept {
+    return static_cast<EdgeIndex>(adj_.size());
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  EdgeIndex degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> adjacency() const noexcept { return adj_; }
+
+  /// Bytes needed to store topology (offsets + adjacency), mirroring the
+  /// paper's Table 2 "Topology Storage" column for the scaled datasets.
+  std::size_t topology_bytes() const noexcept;
+
+  /// Serialise/deserialise to a simple binary format (magic + sizes + arrays).
+  void save(const std::string& path) const;
+  static CsrGraph load(const std::string& path);
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeIndex> offsets_;  // size num_vertices_+1
+  std::vector<VertexId> adj_;
+};
+
+/// Degree statistics used to verify skew-preservation of generators.
+struct DegreeStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double gini = 0.0;          // skew of the degree distribution
+  double top1pct_share = 0.0; // fraction of edges touching the top-1% vertices
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+}  // namespace moment::graph

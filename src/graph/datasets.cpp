@@ -1,0 +1,73 @@
+#include "graph/datasets.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace moment::graph {
+
+namespace {
+
+struct PaperShape {
+  const char* abbrev;
+  const char* full;
+  std::uint64_t vertices;
+  std::uint64_t edges;
+  std::uint64_t topo_bytes;
+  std::uint64_t feat_bytes;
+  // Scaled generation parameters (vertices as power of two for RMAT).
+  VertexId scaled_vertices;
+  EdgeIndex scaled_edges;
+};
+
+// Paper Table 2. Feature dim 1024 floats at paper scale.
+constexpr PaperShape kShapes[] = {
+    {"PA", "Paper100M", 111'000'000ULL, 1'600'000'000ULL,
+     14ULL << 30, 56ULL << 30, 1u << 15, 200'000ULL},
+    {"IG", "IGB-HOM", 269'000'000ULL, 4'000'000'000ULL,
+     34ULL << 30, 1'100ULL << 30, 1u << 16, 500'000ULL},
+    {"UK", "UK-2014", 790'000'000ULL, 47'200'000'000ULL,
+     384ULL << 30, 3'200ULL << 30, 1u << 17, 2'900'000ULL},
+    {"CL", "ClueWeb", 1'000'000'000ULL, 42'500'000'000ULL,
+     348ULL << 30, 4'100ULL << 30, 1u << 18, 5'200'000ULL},
+};
+
+}  // namespace
+
+const char* dataset_name(DatasetId id) noexcept {
+  return kShapes[static_cast<int>(id)].abbrev;
+}
+
+Dataset make_dataset(DatasetId id, int scale_shift, std::uint64_t seed) {
+  const PaperShape& shape = kShapes[static_cast<int>(id)];
+  if (scale_shift < 0 || scale_shift > 10) {
+    throw std::invalid_argument("make_dataset: scale_shift out of range");
+  }
+
+  Dataset ds;
+  ds.name = shape.abbrev;
+  ds.full_name = shape.full;
+  ds.seed = seed;
+  ds.paper.vertices = shape.vertices;
+  ds.paper.edges = shape.edges;
+  ds.paper.topology_bytes = shape.topo_bytes;
+  ds.paper.feature_dim = 1024;
+  ds.paper.feature_bytes = shape.feat_bytes;
+
+  RmatParams rp;
+  rp.num_vertices = shape.scaled_vertices >> scale_shift;
+  rp.num_edges = shape.scaled_edges >> scale_shift;
+  rp.seed = seed + static_cast<std::uint64_t>(id) * 1000003ULL;
+  rp.undirected = true;
+  ds.csr = generate_rmat(rp);
+
+  ds.scaled.vertices = ds.csr.num_vertices();
+  ds.scaled.edges = ds.csr.num_edges();
+  ds.scaled.topology_bytes = ds.csr.topology_bytes();
+  ds.scaled.feature_dim = ds.feature_dim;
+  ds.scaled.feature_bytes = static_cast<std::uint64_t>(ds.scaled.vertices) *
+                            ds.feature_dim * sizeof(float);
+  return ds;
+}
+
+}  // namespace moment::graph

@@ -1,0 +1,62 @@
+#pragma once
+// Dataset presets mirroring the paper's Table 2 (PA/IG/UK/CL), scaled down so
+// they fit in memory while preserving the degree skew that drives DDAK.
+//
+// Each preset carries both the *scaled* in-memory graph (used functionally by
+// the sampler/trainer) and the *paper-scale* statistics (used by the simulator
+// so epoch times and traffic volumes land in the regime the paper reports).
+// Scale-free quantities — cache hit rates, hotness distribution shape, tier
+// traffic fractions — are measured on the scaled graph and applied to the
+// paper-scale volume arithmetic.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace moment::graph {
+
+struct DatasetStats {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t topology_bytes = 0;
+  std::uint32_t feature_dim = 0;
+  std::uint64_t feature_bytes = 0;  // vertices * feature_dim * sizeof(float)
+};
+
+struct Dataset {
+  std::string name;          // "PA", "IG", "UK", "CL"
+  std::string full_name;     // "Paper100M", ...
+  CsrGraph csr;              // scaled graph
+  DatasetStats paper;        // Table-2 scale
+  DatasetStats scaled;       // actual in-memory scale
+  std::uint32_t feature_dim = 64;   // scaled feature dim for functional runs
+  double train_fraction = 0.01;     // 1% of vertices are training vertices
+  std::uint64_t seed = 42;
+
+  /// Ratio paper.vertices / scaled.vertices: converts scaled access counts to
+  /// paper-scale traffic.
+  double upscale() const noexcept {
+    return scaled.vertices ? static_cast<double>(paper.vertices) /
+                                 static_cast<double>(scaled.vertices)
+                           : 1.0;
+  }
+  std::uint64_t num_train_vertices_scaled() const noexcept {
+    return static_cast<std::uint64_t>(
+        train_fraction * static_cast<double>(scaled.vertices));
+  }
+};
+
+enum class DatasetId { kPA, kIG, kUK, kCL };
+
+/// Builds a scaled preset. `scale_shift` halves vertex count per increment
+/// (0 = the default ~2^4..2^18-vertex presets used by tests and benches).
+Dataset make_dataset(DatasetId id, int scale_shift = 0, std::uint64_t seed = 42);
+
+const char* dataset_name(DatasetId id) noexcept;
+
+/// All four presets in paper order.
+inline constexpr DatasetId kAllDatasets[] = {DatasetId::kPA, DatasetId::kIG,
+                                             DatasetId::kUK, DatasetId::kCL};
+
+}  // namespace moment::graph

@@ -1,0 +1,83 @@
+#include "graph/generators.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace moment::graph {
+
+namespace {
+
+VertexId round_up_pow2(VertexId n) {
+  if (n <= 1) return 1;
+  return static_cast<VertexId>(std::bit_ceil(static_cast<std::uint32_t>(n)));
+}
+
+}  // namespace
+
+CsrGraph generate_rmat(const RmatParams& params) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (d < 0.0) {
+    throw std::invalid_argument("generate_rmat: a+b+c must be <= 1");
+  }
+  const VertexId n = round_up_pow2(params.num_vertices);
+  const int levels = std::bit_width(static_cast<std::uint32_t>(n)) - 1;
+
+  util::Pcg32 rng(params.seed, 0x524d4154);  // "RMAT"
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(params.num_edges);
+  for (EdgeIndex e = 0; e < params.num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    el.edges.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(el, params.undirected);
+}
+
+CsrGraph generate_erdos_renyi(const ErdosRenyiParams& params) {
+  util::Pcg32 rng(params.seed, 0x4552);  // "ER"
+  EdgeList el;
+  el.num_vertices = params.num_vertices;
+  el.edges.reserve(params.num_edges);
+  for (EdgeIndex e = 0; e < params.num_edges; ++e) {
+    const VertexId u = rng.next_below(params.num_vertices);
+    const VertexId v = rng.next_below(params.num_vertices);
+    el.edges.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(el, params.undirected);
+}
+
+CsrGraph generate_power_law(const PowerLawParams& params) {
+  util::Pcg32 rng(params.seed, 0x504c);  // "PL"
+  util::ZipfSampler zipf(params.num_vertices, params.exponent);
+  const auto num_edges = static_cast<EdgeIndex>(
+      params.avg_degree * static_cast<double>(params.num_vertices) /
+      (params.undirected ? 2.0 : 1.0));
+  EdgeList el;
+  el.num_vertices = params.num_vertices;
+  el.edges.reserve(num_edges);
+  for (EdgeIndex e = 0; e < num_edges; ++e) {
+    const auto u = static_cast<VertexId>(zipf.sample(rng));
+    const VertexId v = rng.next_below(params.num_vertices);
+    el.edges.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(el, params.undirected);
+}
+
+}  // namespace moment::graph

@@ -1,0 +1,46 @@
+#pragma once
+// Synthetic graph generators. The paper evaluates on PA/IGB/UK/CL, whose key
+// property for Moment is *degree skew* (a small hot set dominates feature
+// traffic). RMAT reproduces that skew; Erdos-Renyi provides an unskewed
+// control for DDAK ablations.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace moment::graph {
+
+struct RmatParams {
+  VertexId num_vertices = 1 << 14;  // rounded up to a power of two
+  EdgeIndex num_edges = 1 << 18;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1-a-b-c; Graph500 defaults
+  std::uint64_t seed = 42;
+  bool undirected = true;
+};
+
+/// Recursive-matrix (Graph500-style) generator: power-law degree distribution.
+CsrGraph generate_rmat(const RmatParams& params);
+
+struct ErdosRenyiParams {
+  VertexId num_vertices = 1 << 14;
+  EdgeIndex num_edges = 1 << 18;
+  std::uint64_t seed = 42;
+  bool undirected = true;
+};
+
+/// Uniform random graph: flat degree distribution (skew control).
+CsrGraph generate_erdos_renyi(const ErdosRenyiParams& params);
+
+struct PowerLawParams {
+  VertexId num_vertices = 1 << 14;
+  double avg_degree = 16.0;
+  double exponent = 1.2;  // Zipf exponent over vertex attachment probability
+  std::uint64_t seed = 42;
+  bool undirected = true;
+};
+
+/// Direct preferential-attachment-style generator: each edge endpoint is drawn
+/// from a Zipf distribution over vertices, giving controllable skew.
+CsrGraph generate_power_law(const PowerLawParams& params);
+
+}  // namespace moment::graph

@@ -1,0 +1,120 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace moment::graph {
+
+std::vector<std::int32_t> partition_bfs(const CsrGraph& graph, int parts,
+                                        std::uint64_t seed) {
+  if (parts <= 0) throw std::invalid_argument("partition_bfs: parts <= 0");
+  const VertexId n = graph.num_vertices();
+  std::vector<std::int32_t> part_of(n, -1);
+  if (n == 0) return part_of;
+
+  const std::size_t cap =
+      (static_cast<std::size_t>(n) + static_cast<std::size_t>(parts) - 1) /
+      static_cast<std::size_t>(parts);
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), 0);
+  std::vector<std::deque<VertexId>> frontiers(
+      static_cast<std::size_t>(parts));
+
+  util::Pcg32 rng(seed, 0x50415254);  // "PART"
+  for (int p = 0; p < parts; ++p) {
+    // Seed each part at a random unassigned vertex.
+    for (int tries = 0; tries < 64; ++tries) {
+      const VertexId v = rng.next_below(n);
+      if (part_of[v] < 0) {
+        part_of[v] = p;
+        ++sizes[static_cast<std::size_t>(p)];
+        frontiers[static_cast<std::size_t>(p)].push_back(v);
+        break;
+      }
+    }
+  }
+
+  // Round-robin BFS growth under the balance cap.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int p = 0; p < parts; ++p) {
+      auto& frontier = frontiers[static_cast<std::size_t>(p)];
+      std::size_t steps = 64;  // interleave parts for even growth
+      while (!frontier.empty() && steps-- > 0 &&
+             sizes[static_cast<std::size_t>(p)] < cap) {
+        const VertexId u = frontier.front();
+        frontier.pop_front();
+        for (VertexId v : graph.neighbors(u)) {
+          if (part_of[v] < 0) {
+            part_of[v] = p;
+            ++sizes[static_cast<std::size_t>(p)];
+            frontier.push_back(v);
+            progress = true;
+            if (sizes[static_cast<std::size_t>(p)] >= cap) break;
+          }
+        }
+      }
+      if (!frontier.empty()) progress = true;
+      if (sizes[static_cast<std::size_t>(p)] >= cap) frontier.clear();
+    }
+  }
+
+  // Isolated / unreached vertices: fill the emptiest parts.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part_of[v] >= 0) continue;
+    const auto smallest = static_cast<std::int32_t>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    part_of[v] = smallest;
+    ++sizes[static_cast<std::size_t>(smallest)];
+  }
+  return part_of;
+}
+
+std::vector<std::int32_t> partition_hash(const CsrGraph& graph, int parts,
+                                         std::uint64_t seed) {
+  if (parts <= 0) throw std::invalid_argument("partition_hash: parts <= 0");
+  std::vector<std::int32_t> part_of(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    part_of[v] = static_cast<std::int32_t>(
+        util::hash_combine(seed, v) % static_cast<std::uint64_t>(parts));
+  }
+  return part_of;
+}
+
+PartitionStats partition_stats(const CsrGraph& graph,
+                               const std::vector<std::int32_t>& part_of) {
+  PartitionStats stats;
+  if (part_of.size() != graph.num_vertices()) {
+    throw std::invalid_argument("partition_stats: size mismatch");
+  }
+  std::int32_t parts = 0;
+  for (auto p : part_of) parts = std::max(parts, p + 1);
+  stats.parts = parts;
+  stats.part_sizes.assign(static_cast<std::size_t>(parts), 0);
+  for (auto p : part_of) {
+    if (p < 0) throw std::invalid_argument("partition_stats: unassigned");
+    ++stats.part_sizes[static_cast<std::size_t>(p)];
+  }
+
+  EdgeIndex cut = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.neighbors(u)) {
+      if (part_of[u] != part_of[v]) ++cut;
+    }
+  }
+  stats.edge_cut_fraction =
+      graph.num_edges() > 0
+          ? static_cast<double>(cut) / static_cast<double>(graph.num_edges())
+          : 0.0;
+  const double ideal = static_cast<double>(graph.num_vertices()) /
+                       std::max(1, parts);
+  std::size_t largest = 0;
+  for (std::size_t s : stats.part_sizes) largest = std::max(largest, s);
+  stats.balance = ideal > 0 ? static_cast<double>(largest) / ideal : 1.0;
+  return stats;
+}
+
+}  // namespace moment::graph

@@ -1,0 +1,38 @@
+#pragma once
+// Graph partitioning for the distributed baseline: DistDGL hash- or
+// METIS-partitions the graph across machines, and its network traffic is the
+// remote-neighbor fraction of sampled edges. We implement a BFS-grow
+// partitioner (a light-weight METIS stand-in that preserves locality) and a
+// hash partitioner (the no-locality control), plus the cut statistics the
+// DistDGL model consumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace moment::graph {
+
+struct PartitionStats {
+  int parts = 0;
+  /// Fraction of edges whose endpoints live in different parts.
+  double edge_cut_fraction = 0.0;
+  /// Largest part size / ideal part size (1.0 = perfectly balanced).
+  double balance = 1.0;
+  std::vector<std::size_t> part_sizes;
+};
+
+/// BFS-grow partitioning: seeds one BFS frontier per part and grows them
+/// breadth-first under a balance cap, assigning each vertex to the first
+/// frontier that reaches it. Locality-preserving like METIS, linear time.
+std::vector<std::int32_t> partition_bfs(const CsrGraph& graph, int parts,
+                                        std::uint64_t seed = 1);
+
+/// Hash partitioning: vertex -> hash(v) % parts. The no-locality control.
+std::vector<std::int32_t> partition_hash(const CsrGraph& graph, int parts,
+                                         std::uint64_t seed = 1);
+
+PartitionStats partition_stats(const CsrGraph& graph,
+                               const std::vector<std::int32_t>& part_of);
+
+}  // namespace moment::graph

@@ -1,0 +1,142 @@
+#include "iostack/feature_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace moment::iostack {
+
+TieredFeatureStore::TieredFeatureStore(
+    const gnn::Tensor& features, std::span<const std::int32_t> bin_of_vertex,
+    std::span<const BinBacking> bins, SsdArray& array)
+    : dim_(features.cols()), array_(&array) {
+  const std::size_t n = features.rows();
+  if (bin_of_vertex.size() != n) {
+    throw std::invalid_argument("TieredFeatureStore: placement size mismatch");
+  }
+  const std::size_t raw = dim_ * sizeof(float);
+  row_bytes_ = ((raw + kPageBytes - 1) / kPageBytes) * kPageBytes;
+
+  // First pass: count rows per tier / per SSD.
+  std::size_t gpu_rows = 0, cpu_rows = 0;
+  std::vector<std::uint32_t> ssd_rows(array.size(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto b = static_cast<std::size_t>(bin_of_vertex[v]);
+    if (b >= bins.size()) {
+      throw std::out_of_range("TieredFeatureStore: bin index");
+    }
+    switch (bins[b].kind) {
+      case BinBacking::Kind::kGpuCache: ++gpu_rows; break;
+      case BinBacking::Kind::kCpuCache: ++cpu_rows; break;
+      case BinBacking::Kind::kSsd: {
+        const auto s = static_cast<std::size_t>(bins[b].ssd);
+        if (s >= array.size()) {
+          throw std::out_of_range("TieredFeatureStore: ssd index");
+        }
+        ++ssd_rows[s];
+        break;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < array.size(); ++s) {
+    if (static_cast<std::uint64_t>(ssd_rows[s]) * row_bytes_ >
+        array.ssd(s).capacity()) {
+      throw std::invalid_argument(
+          "TieredFeatureStore: SSD capacity too small for placement");
+    }
+  }
+
+  gpu_cache_ = gnn::Tensor(gpu_rows, dim_);
+  cpu_cache_ = gnn::Tensor(cpu_rows, dim_);
+  locations_.resize(n);
+
+  std::uint32_t gpu_cursor = 0, cpu_cursor = 0;
+  std::vector<std::uint32_t> ssd_cursor(array.size(), 0);
+  std::vector<std::byte> row(row_bytes_);
+  for (std::size_t v = 0; v < n; ++v) {
+    const BinBacking& bin = bins[static_cast<std::size_t>(bin_of_vertex[v])];
+    Location& loc = locations_[v];
+    loc.kind = bin.kind;
+    loc.ssd = bin.ssd;
+    const auto src = features.row(v);
+    switch (bin.kind) {
+      case BinBacking::Kind::kGpuCache:
+        loc.index = gpu_cursor;
+        std::copy(src.begin(), src.end(), gpu_cache_.row(gpu_cursor).begin());
+        ++gpu_cursor;
+        break;
+      case BinBacking::Kind::kCpuCache:
+        loc.index = cpu_cursor;
+        std::copy(src.begin(), src.end(), cpu_cache_.row(cpu_cursor).begin());
+        ++cpu_cursor;
+        break;
+      case BinBacking::Kind::kSsd: {
+        const auto s = static_cast<std::size_t>(bin.ssd);
+        loc.index = ssd_cursor[s];
+        std::memset(row.data(), 0, row.size());
+        std::memcpy(row.data(), src.data(), raw);
+        array.ssd(s).write(static_cast<std::uint64_t>(loc.index) * row_bytes_,
+                           row.data(), row.size());
+        ++ssd_cursor[s];
+        break;
+      }
+    }
+  }
+}
+
+TieredFeatureClient::TieredFeatureClient(TieredFeatureStore& store,
+                                         std::size_t queue_depth)
+    : store_(store), engine_(store.array(), queue_depth) {}
+
+void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
+                                 gnn::Tensor& out) {
+  if (out.rows() != vertices.size() || out.cols() != store_.dim()) {
+    throw std::invalid_argument("TieredFeatureClient::gather: shape mismatch");
+  }
+  const std::size_t row_bytes = store_.row_bytes();
+  bounce_.resize(vertices.size() * row_bytes);
+
+  struct Pending {
+    std::size_t out_row;
+    std::size_t bounce_off;
+  };
+  std::vector<Pending> pending;
+
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto& loc = store_.location(vertices[i]);
+    switch (loc.kind) {
+      case BinBacking::Kind::kGpuCache: {
+        const auto src = store_.gpu_cache().row(loc.index);
+        std::copy(src.begin(), src.end(), out.row(i).begin());
+        ++stats_.gpu_hits;
+        break;
+      }
+      case BinBacking::Kind::kCpuCache: {
+        const auto src = store_.cpu_cache().row(loc.index);
+        std::copy(src.begin(), src.end(), out.row(i).begin());
+        ++stats_.cpu_hits;
+        break;
+      }
+      case BinBacking::Kind::kSsd: {
+        const std::size_t off = i * row_bytes;
+        engine_.submit_read(static_cast<std::size_t>(loc.ssd),
+                            static_cast<std::uint64_t>(loc.index) * row_bytes,
+                            static_cast<std::uint32_t>(row_bytes),
+                            bounce_.data() + off);
+        pending.push_back({i, off});
+        ++stats_.ssd_reads;
+        stats_.ssd_bytes += row_bytes;
+        break;
+      }
+    }
+  }
+
+  if (const std::size_t failures = engine_.wait_all(); failures != 0) {
+    throw std::runtime_error("TieredFeatureClient: SSD read failures");
+  }
+  for (const Pending& p : pending) {
+    std::memcpy(out.row(p.out_row).data(), bounce_.data() + p.bounce_off,
+                store_.dim() * sizeof(float));
+  }
+}
+
+}  // namespace moment::iostack

@@ -1,0 +1,92 @@
+#pragma once
+// Tiered feature store: vertex embeddings distributed across GPU cache, CPU
+// cache and the SSD array according to a data placement (DDAK or hash), with
+// gathers served through the GPU-initiated IO stack. This is the functional
+// realisation of the paper's storage hierarchy — the piece that actually
+// moves bytes, as opposed to the flow-level simulator that models time.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gnn/features.hpp"
+#include "iostack/ssd.hpp"
+
+namespace moment::iostack {
+
+/// Where a data-placement bin physically lives.
+struct BinBacking {
+  enum class Kind { kGpuCache, kCpuCache, kSsd };
+  Kind kind = Kind::kSsd;
+  int ssd = -1;  // valid when kind == kSsd
+};
+
+struct GatherStats {
+  std::uint64_t gpu_hits = 0;
+  std::uint64_t cpu_hits = 0;
+  std::uint64_t ssd_reads = 0;
+  std::uint64_t ssd_bytes = 0;
+};
+
+/// Shared layout: writes SSD-resident rows to the devices (the one-off
+/// "dataset reorganisation" the paper's SSD-wear discussion covers) and
+/// keeps cache tiers in host tensors. Clients (one per simulated GPU) gather
+/// through their own IoEngine.
+class TieredFeatureStore {
+ public:
+  /// `bin_of_vertex[v]` indexes `bins`. All SSD rows are written before
+  /// return; the array must not be started yet.
+  TieredFeatureStore(const gnn::Tensor& features,
+                     std::span<const std::int32_t> bin_of_vertex,
+                     std::span<const BinBacking> bins, SsdArray& array);
+
+  std::size_t dim() const noexcept { return dim_; }
+  SsdArray& array() noexcept { return *array_; }
+
+  /// Bytes a single vertex row occupies on an SSD (padded to page size so
+  /// reads are page-aligned like real NVMe access).
+  std::size_t row_bytes() const noexcept { return row_bytes_; }
+
+  struct Location {
+    BinBacking::Kind kind;
+    std::uint32_t index;  // cache row or SSD slot
+    std::int32_t ssd;
+  };
+  const Location& location(graph::VertexId v) const { return locations_[v]; }
+
+  const gnn::Tensor& gpu_cache() const noexcept { return gpu_cache_; }
+  const gnn::Tensor& cpu_cache() const noexcept { return cpu_cache_; }
+
+ private:
+  friend class TieredFeatureClient;
+  std::size_t dim_ = 0;
+  std::size_t row_bytes_ = 0;
+  std::vector<Location> locations_;
+  gnn::Tensor gpu_cache_;  // replicated per GPU in the real system
+  gnn::Tensor cpu_cache_;
+  SsdArray* array_ = nullptr;
+};
+
+/// Per-GPU gather client. Implements gnn::FeatureProvider so the trainer can
+/// run end-to-end through the IO stack.
+class TieredFeatureClient final : public gnn::FeatureProvider {
+ public:
+  explicit TieredFeatureClient(TieredFeatureStore& store,
+                               std::size_t queue_depth = 256);
+
+  std::size_t dim() const override { return store_.dim(); }
+  void gather(std::span<const graph::VertexId> vertices,
+              gnn::Tensor& out) override;
+
+  const GatherStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  TieredFeatureStore& store_;
+  IoEngine engine_;
+  GatherStats stats_;
+  std::vector<std::byte> bounce_;  // page-aligned staging for SSD reads
+};
+
+}  // namespace moment::iostack

@@ -1,0 +1,218 @@
+#include "iostack/ssd.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace moment::iostack {
+
+SsdDevice::SsdDevice(const SsdOptions& options)
+    : store_(options.capacity_bytes), options_(options) {}
+
+SsdDevice::~SsdDevice() { stop(); }
+
+QueuePair* SsdDevice::create_queue_pair(std::size_t depth) {
+  if (running_.load()) {
+    throw std::logic_error("SsdDevice: create_queue_pair while running");
+  }
+  queues_.push_back(std::make_unique<QueuePair>(depth));
+  return queues_.back().get();
+}
+
+void SsdDevice::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  service_thread_ = std::thread([this] { service_loop(); });
+}
+
+void SsdDevice::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  if (service_thread_.joinable()) service_thread_.join();
+  running_.store(false);
+}
+
+void SsdDevice::write(std::uint64_t offset, const std::byte* src,
+                      std::size_t len) {
+  if (offset + len > store_.size()) {
+    throw std::out_of_range("SsdDevice::write: beyond capacity");
+  }
+  std::memcpy(store_.data() + offset, src, len);
+}
+
+SsdStats SsdDevice::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SsdDevice::serve(const Sqe& sqe, QueuePair& qp) {
+  Cqe cqe;
+  cqe.tag = sqe.tag;
+  if (sqe.dest == nullptr ||
+      sqe.offset + sqe.length > store_.size()) {
+    cqe.status = 1;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  } else {
+    std::memcpy(sqe.dest, store_.data() + sqe.offset, sqe.length);
+    cqe.status = 0;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reads;
+    stats_.bytes_read += sqe.length;
+  }
+  // Completion queues are sized to the submission queue, so this can only
+  // fail if the client stops polling; spin rather than drop the completion.
+  while (!qp.complete(cqe)) {
+    std::this_thread::yield();
+  }
+}
+
+void SsdDevice::service_loop() {
+  using clock = std::chrono::steady_clock;
+  const bool paced = options_.max_bytes_per_s > 0.0;
+  auto epoch = clock::now();
+  double budget_bytes = 0.0;  // token bucket
+  auto last_refill = epoch;
+
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    bool served_any = false;
+    for (auto& qp : queues_) {
+      for (std::size_t k = 0; k < options_.max_batch; ++k) {
+        if (paced && budget_bytes <= 0.0) break;
+        Sqe sqe;
+        if (!qp->fetch(sqe)) break;
+        serve(sqe, *qp);
+        served_any = true;
+        if (paced) budget_bytes -= static_cast<double>(sqe.length);
+      }
+    }
+    if (paced) {
+      const auto now = clock::now();
+      const double dt =
+          std::chrono::duration<double>(now - last_refill).count();
+      last_refill = now;
+      budget_bytes += dt * options_.max_bytes_per_s;
+      // Cap the bucket at ~10ms worth so bursts stay realistic.
+      budget_bytes =
+          std::min(budget_bytes, options_.max_bytes_per_s * 0.010);
+    }
+    if (!served_any) std::this_thread::yield();
+  }
+
+  // Drain outstanding requests so clients never hang on shutdown.
+  for (auto& qp : queues_) {
+    Sqe sqe;
+    while (qp->fetch(sqe)) serve(sqe, *qp);
+  }
+}
+
+SsdArray::SsdArray(std::size_t num_ssds, const SsdOptions& options) {
+  ssds_.reserve(num_ssds);
+  for (std::size_t i = 0; i < num_ssds; ++i) {
+    ssds_.push_back(std::make_unique<SsdDevice>(options));
+  }
+}
+
+SsdArray::~SsdArray() { stop_all(); }
+
+void SsdArray::start_all() {
+  for (auto& s : ssds_) s->start();
+}
+
+void SsdArray::stop_all() {
+  for (auto& s : ssds_) s->stop();
+}
+
+IoEngine::IoEngine(SsdArray& array, std::size_t queue_depth) {
+  queues_.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    queues_.push_back(array.ssd(i).create_queue_pair(queue_depth));
+  }
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void IoEngine::drain_completions() {
+  Cqe cqe;
+  const std::uint64_t now = now_ns();
+  for (auto* qp : queues_) {
+    while (qp->poll_completion(cqe)) {
+      --in_flight_;
+      ++completed_;
+      if (cqe.status != 0) ++failures_;
+      for (auto it = pending_times_.begin(); it != pending_times_.end();
+           ++it) {
+        if (it->first == cqe.tag) {
+          const double lat = static_cast<double>(now - it->second);
+          ++latency_count_;
+          latency_sum_ns_ += lat;
+          latency_max_ns_ = std::max(latency_max_ns_, lat);
+          pending_times_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t IoEngine::submit_read(std::size_t ssd, std::uint64_t offset,
+                                    std::uint32_t length, std::byte* dest) {
+  if (ssd >= queues_.size()) {
+    throw std::out_of_range("IoEngine::submit_read: ssd index");
+  }
+  Sqe sqe{offset, length, dest, next_tag_++};
+  pending_times_.emplace_back(sqe.tag, now_ns());
+  while (!queues_[ssd]->submit(sqe)) {
+    // SQ full: make progress by draining completions (as a GPU thread would
+    // spin on its CQ doorbell).
+    drain_completions();
+    std::this_thread::yield();
+  }
+  ++in_flight_;
+  return sqe.tag;
+}
+
+void IoEngine::submit_batch(std::span<const ReadRequest> requests) {
+  for (const ReadRequest& r : requests) {
+    submit_read(r.ssd, r.offset, r.length, r.dest);
+  }
+}
+
+std::size_t IoEngine::wait_all() {
+  while (in_flight_ > 0) {
+    const std::size_t before = in_flight_;
+    drain_completions();
+    if (in_flight_ == before) std::this_thread::yield();
+  }
+  const std::size_t f = failures_;
+  failures_ = 0;
+  return f;
+}
+
+LatencyStats IoEngine::latency() const noexcept {
+  LatencyStats s;
+  s.count = latency_count_;
+  s.mean_ns = latency_count_ > 0
+                  ? latency_sum_ns_ / static_cast<double>(latency_count_)
+                  : 0.0;
+  s.max_ns = latency_max_ns_;
+  return s;
+}
+
+void IoEngine::reset_latency() noexcept {
+  latency_count_ = 0;
+  latency_sum_ns_ = 0.0;
+  latency_max_ns_ = 0.0;
+}
+
+}  // namespace moment::iostack

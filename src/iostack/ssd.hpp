@@ -1,0 +1,146 @@
+#pragma once
+// In-memory NVMe SSD emulation. Each device owns a byte store (the
+// "flash"), a set of registered queue pairs (one per client/GPU — the paper
+// extends Hyperion's stack so a single SSD is shared by multiple GPUs), and
+// a service thread that drains submission queues round-robin and posts
+// completions. An optional throughput model paces service to a target
+// bytes/s so latency/bandwidth tests behave like hardware.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "iostack/queue_pair.hpp"
+
+namespace moment::iostack {
+
+inline constexpr std::size_t kPageBytes = 4096;
+
+struct SsdStats {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t errors = 0;
+};
+
+struct SsdOptions {
+  std::size_t capacity_bytes = 64ull << 20;
+  /// 0 = serve as fast as memcpy allows; otherwise pace to this rate.
+  double max_bytes_per_s = 0.0;
+  std::size_t max_batch = 32;  // SQEs drained per queue per service pass
+};
+
+class SsdDevice {
+ public:
+  explicit SsdDevice(const SsdOptions& options);
+  ~SsdDevice();
+
+  SsdDevice(const SsdDevice&) = delete;
+  SsdDevice& operator=(const SsdDevice&) = delete;
+
+  /// Registers a client's queue pair; must happen before start().
+  QueuePair* create_queue_pair(std::size_t depth = 256);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  /// Host-side write (dataset reorganisation path; not on the training
+  /// fast path). Thread-safe with the service loop only when stopped.
+  void write(std::uint64_t offset, const std::byte* src, std::size_t len);
+
+  std::size_t capacity() const noexcept { return store_.size(); }
+  SsdStats stats() const;
+
+ private:
+  void service_loop();
+  void serve(const Sqe& sqe, QueuePair& qp);
+
+  std::vector<std::byte> store_;
+  std::vector<std::unique_ptr<QueuePair>> queues_;
+  SsdOptions options_;
+  std::thread service_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  mutable std::mutex stats_mu_;
+  SsdStats stats_;
+};
+
+/// A set of SSDs plus client-side engines, modelling the machine's array of
+/// NVMe devices shared by all GPUs.
+class SsdArray {
+ public:
+  SsdArray(std::size_t num_ssds, const SsdOptions& options);
+  ~SsdArray();
+
+  std::size_t size() const noexcept { return ssds_.size(); }
+  SsdDevice& ssd(std::size_t i) { return *ssds_[i]; }
+
+  void start_all();
+  void stop_all();
+
+ private:
+  std::vector<std::unique_ptr<SsdDevice>> ssds_;
+};
+
+/// A batch-read request (doorbell batching: submit many, ring once).
+struct ReadRequest {
+  std::size_t ssd = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::byte* dest = nullptr;
+};
+
+/// Per-request latency statistics (nanoseconds, submit to completion-poll).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+/// Per-client ("per-GPU") IO engine: one queue pair to every SSD, async
+/// submission, polling completion — the GPU-initiated access path.
+class IoEngine {
+ public:
+  /// Creates queue pairs on each SSD of the array. Call before start_all().
+  IoEngine(SsdArray& array, std::size_t queue_depth = 256);
+
+  /// Asynchronous read; returns a tag. Spins when the SQ is full.
+  std::uint64_t submit_read(std::size_t ssd, std::uint64_t offset,
+                            std::uint32_t length, std::byte* dest);
+
+  /// Doorbell batching: submits a whole batch before polling anything.
+  void submit_batch(std::span<const ReadRequest> requests);
+
+  /// Polls completions until all in-flight requests are done.
+  /// Returns the number of failed requests.
+  std::size_t wait_all();
+
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Latency of completed requests since construction/reset.
+  LatencyStats latency() const noexcept;
+  void reset_latency() noexcept;
+
+ private:
+  void drain_completions();
+
+  std::vector<QueuePair*> queues_;  // one per SSD
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_tag_ = 1;
+  std::uint64_t completed_ = 0;
+  std::size_t failures_ = 0;
+  /// tag -> submit timestamp (ns); bounded by total queue depth.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending_times_;
+  std::uint64_t latency_count_ = 0;
+  double latency_sum_ns_ = 0.0;
+  double latency_max_ns_ = 0.0;
+};
+
+}  // namespace moment::iostack

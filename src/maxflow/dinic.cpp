@@ -1,0 +1,91 @@
+#include "maxflow/dinic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace moment::maxflow {
+
+namespace {
+
+class DinicState {
+ public:
+  DinicState(FlowNetwork& net, NodeId s, NodeId t)
+      : net_(net), s_(s), t_(t),
+        level_(static_cast<std::size_t>(net.num_nodes())),
+        iter_(static_cast<std::size_t>(net.num_nodes())) {}
+
+  MaxFlowResult run() {
+    MaxFlowResult result;
+    while (bfs()) {
+      std::fill(iter_.begin(), iter_.end(), 0);
+      for (;;) {
+        const double pushed = dfs(s_, kInfiniteCapacity);
+        if (pushed <= kFlowEps) break;
+        result.total_flow += pushed;
+        ++result.augmenting_paths;
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool bfs() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<NodeId> q;
+    level_[static_cast<std::size_t>(s_)] = 0;
+    q.push(s_);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (EdgeId eid : net_.incident(u)) {
+        const auto& e = net_.edge(eid);
+        if (e.capacity > kFlowEps &&
+            level_[static_cast<std::size_t>(e.to)] < 0) {
+          level_[static_cast<std::size_t>(e.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          q.push(e.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t_)] >= 0;
+  }
+
+  double dfs(NodeId u, double limit) {
+    if (u == t_) return limit;
+    auto& it = iter_[static_cast<std::size_t>(u)];
+    const auto& incident = net_.incident(u);
+    for (; it < incident.size(); ++it) {
+      const EdgeId eid = incident[it];
+      auto& e = net_.edge(eid);
+      if (e.capacity <= kFlowEps ||
+          level_[static_cast<std::size_t>(e.to)] !=
+              level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const double pushed = dfs(e.to, std::min(limit, e.capacity));
+      if (pushed > kFlowEps) {
+        e.capacity -= pushed;
+        net_.edge(e.reverse).capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  FlowNetwork& net_;
+  NodeId s_, t_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace
+
+MaxFlowResult Dinic::solve(FlowNetwork& net, NodeId s, NodeId t) {
+  assert(s != t);
+  DinicState state(net, s, t);
+  return state.run();
+}
+
+}  // namespace moment::maxflow

@@ -1,0 +1,18 @@
+#pragma once
+// Dinic's max-flow algorithm (BFS level graph + blocking-flow DFS).
+// O(V^2 E) worst case, effectively linear on the shallow layered networks the
+// topology compiler produces (source -> storage -> interconnect* -> GPU ->
+// sink, depth <= ~6). This is the production solver; Edmonds-Karp exists as a
+// cross-check oracle.
+
+#include "maxflow/flow_network.hpp"
+
+namespace moment::maxflow {
+
+class Dinic {
+ public:
+  /// Computes max flow from s to t, mutating `net` residual capacities.
+  static MaxFlowResult solve(FlowNetwork& net, NodeId s, NodeId t);
+};
+
+}  // namespace moment::maxflow

@@ -1,0 +1,60 @@
+#include "maxflow/edmonds_karp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace moment::maxflow {
+
+MaxFlowResult EdmondsKarp::solve(FlowNetwork& net, NodeId s, NodeId t) {
+  assert(s != t);
+  MaxFlowResult result;
+  const auto n = static_cast<std::size_t>(net.num_nodes());
+  std::vector<EdgeId> parent_edge(n);
+
+  for (;;) {
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    std::queue<NodeId> q;
+    q.push(s);
+    std::vector<bool> visited(n, false);
+    visited[static_cast<std::size_t>(s)] = true;
+    bool found = false;
+    while (!q.empty() && !found) {
+      const NodeId u = q.front();
+      q.pop();
+      for (EdgeId eid : net.incident(u)) {
+        const auto& e = net.edge(eid);
+        if (e.capacity > kFlowEps && !visited[static_cast<std::size_t>(e.to)]) {
+          visited[static_cast<std::size_t>(e.to)] = true;
+          parent_edge[static_cast<std::size_t>(e.to)] = eid;
+          if (e.to == t) {
+            found = true;
+            break;
+          }
+          q.push(e.to);
+        }
+      }
+    }
+    if (!found) break;
+
+    double bottleneck = kInfiniteCapacity;
+    for (NodeId v = t; v != s;) {
+      const EdgeId eid = parent_edge[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, net.edge(eid).capacity);
+      v = net.edge_source(eid);
+    }
+    for (NodeId v = t; v != s;) {
+      const EdgeId eid = parent_edge[static_cast<std::size_t>(v)];
+      auto& e = net.edge(eid);
+      e.capacity -= bottleneck;
+      net.edge(e.reverse).capacity += bottleneck;
+      v = net.edge_source(eid);
+    }
+    result.total_flow += bottleneck;
+    ++result.augmenting_paths;
+  }
+  return result;
+}
+
+}  // namespace moment::maxflow

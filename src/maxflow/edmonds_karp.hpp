@@ -1,0 +1,15 @@
+#pragma once
+// Edmonds-Karp (BFS Ford-Fulkerson). Kept as a second, independent solver:
+// the paper's "time-bisection Ford-Fulkerson" is implemented against either
+// backend, and property tests cross-check Dinic against this oracle.
+
+#include "maxflow/flow_network.hpp"
+
+namespace moment::maxflow {
+
+class EdmondsKarp {
+ public:
+  static MaxFlowResult solve(FlowNetwork& net, NodeId s, NodeId t);
+};
+
+}  // namespace moment::maxflow

@@ -1,0 +1,63 @@
+#include "maxflow/flow_network.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace moment::maxflow {
+
+void FlowNetwork::resize(NodeId num_nodes) {
+  head_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+NodeId FlowNetwork::add_node() {
+  head_.emplace_back();
+  return static_cast<NodeId>(head_.size()) - 1;
+}
+
+EdgeId FlowNetwork::add_edge(NodeId u, NodeId v, double cap) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (cap < 0.0) throw std::invalid_argument("add_edge: negative capacity");
+  const auto fwd = static_cast<EdgeId>(edges_.size());
+  const EdgeId rev = fwd + 1;
+  edges_.push_back({v, cap, rev, false});
+  edges_.push_back({u, 0.0, fwd, true});
+  original_.push_back(cap);
+  original_.push_back(0.0);
+  source_.push_back(u);
+  source_.push_back(v);
+  head_[u].push_back(fwd);
+  head_[v].push_back(rev);
+  return fwd;
+}
+
+double FlowNetwork::flow(EdgeId e) const noexcept {
+  // Flow pushed on forward edge e equals the residual capacity accumulated on
+  // its reverse slot.
+  const Edge& fwd = edges_[e];
+  return edges_[fwd.reverse].capacity;
+}
+
+void FlowNetwork::scale_capacities(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("scale_capacities: negative");
+  for (std::size_t i = 0; i < edges_.size(); i += 2) {
+    if (std::isinf(original_[i])) continue;
+    original_[i] *= factor;
+  }
+  reset_flows();
+}
+
+void FlowNetwork::set_capacity(EdgeId e, double cap) {
+  if (cap < 0.0) throw std::invalid_argument("set_capacity: negative");
+  assert(!edges_[e].is_residual);
+  original_[e] = cap;
+  reset_flows();
+}
+
+void FlowNetwork::reset_flows() {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    edges_[i].capacity = original_[i];
+  }
+}
+
+}  // namespace moment::maxflow

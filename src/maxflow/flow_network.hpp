@@ -1,0 +1,87 @@
+#pragma once
+// Capacity-constrained directed flow network with real-valued capacities.
+// This is the representation the topology compiler produces (paper Fig. 9)
+// and both max-flow solvers consume. Residual edges are stored explicitly;
+// flows can be reset so one network can be re-solved under scaled capacities.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace moment::maxflow {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr double kInfiniteCapacity =
+    std::numeric_limits<double>::infinity();
+
+/// Flow comparisons use this tolerance; capacities are bytes/s (1e9-scale),
+/// so 1e-6 relative precision is far below hardware measurement noise.
+inline constexpr double kFlowEps = 1e-7;
+
+class FlowNetwork {
+ public:
+  struct Edge {
+    NodeId to = -1;
+    double capacity = 0.0;  // remaining residual capacity
+    EdgeId reverse = -1;    // index of the paired residual edge
+    bool is_residual = false;
+  };
+
+  FlowNetwork() = default;
+  explicit FlowNetwork(NodeId num_nodes) { resize(num_nodes); }
+
+  void resize(NodeId num_nodes);
+  NodeId add_node();
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(head_.size());
+  }
+
+  /// Adds a forward edge u->v with capacity `cap` plus its residual pair.
+  /// Returns the forward edge id. Capacity may be kInfiniteCapacity.
+  EdgeId add_edge(NodeId u, NodeId v, double cap);
+
+  std::size_t num_edges() const noexcept { return edges_.size() / 2; }
+
+  const Edge& edge(EdgeId e) const noexcept { return edges_[e]; }
+  Edge& edge(EdgeId e) noexcept { return edges_[e]; }
+
+  /// Original (pre-solve) capacity of forward edge `e`.
+  double original_capacity(EdgeId e) const noexcept { return original_[e]; }
+
+  /// Flow currently routed through forward edge `e`.
+  double flow(EdgeId e) const noexcept;
+
+  /// Scales every finite forward capacity by `factor` and resets flows.
+  void scale_capacities(double factor);
+
+  /// Overwrites the capacity of forward edge `e` (and resets flows).
+  void set_capacity(EdgeId e, double cap);
+
+  /// Restores all residual capacities to the original values (zero flow).
+  void reset_flows();
+
+  /// Edge ids (both directions) incident to node u.
+  const std::vector<EdgeId>& incident(NodeId u) const noexcept {
+    return head_[u];
+  }
+
+  NodeId edge_source(EdgeId e) const noexcept { return source_[e]; }
+
+ private:
+  std::vector<std::vector<EdgeId>> head_;
+  std::vector<Edge> edges_;
+  std::vector<double> original_;  // per edge-slot (fwd and residual)
+  std::vector<NodeId> source_;    // source node of each edge slot
+};
+
+/// Solvers mutate the network's residual capacities in place; per-edge flows
+/// are then read back via FlowNetwork::flow(EdgeId).
+struct MaxFlowResult {
+  double total_flow = 0.0;
+  std::size_t augmenting_paths = 0;
+};
+
+}  // namespace moment::maxflow

@@ -1,0 +1,40 @@
+#include "maxflow/min_cut.hpp"
+
+#include <queue>
+
+namespace moment::maxflow {
+
+MinCut extract_min_cut(const FlowNetwork& net, NodeId s) {
+  MinCut cut;
+  const auto n = static_cast<std::size_t>(net.num_nodes());
+  cut.source_side.assign(n, false);
+  std::queue<NodeId> q;
+  q.push(s);
+  cut.source_side[static_cast<std::size_t>(s)] = true;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (EdgeId eid : net.incident(u)) {
+      const auto& e = net.edge(eid);
+      if (e.capacity > kFlowEps && !cut.source_side[static_cast<std::size_t>(e.to)]) {
+        cut.source_side[static_cast<std::size_t>(e.to)] = true;
+        q.push(e.to);
+      }
+    }
+  }
+  // Forward edges from source side to sink side are the cut.
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    if (!cut.source_side[static_cast<std::size_t>(u)]) continue;
+    for (EdgeId eid : net.incident(u)) {
+      const auto& e = net.edge(eid);
+      if (e.is_residual) continue;
+      if (!cut.source_side[static_cast<std::size_t>(e.to)]) {
+        cut.cut_edges.push_back(eid);
+        cut.capacity += net.original_capacity(eid);
+      }
+    }
+  }
+  return cut;
+}
+
+}  // namespace moment::maxflow

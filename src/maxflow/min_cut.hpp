@@ -1,0 +1,21 @@
+#pragma once
+// Min-cut extraction after a max-flow solve. Moment uses the cut to name the
+// bottleneck links of a placement (e.g. "Bus 16 saturates"), which the paper
+// does informally in Section 2.3.
+
+#include <vector>
+
+#include "maxflow/flow_network.hpp"
+
+namespace moment::maxflow {
+
+struct MinCut {
+  std::vector<bool> source_side;   // per node: reachable from s in residual
+  std::vector<EdgeId> cut_edges;   // saturated forward edges crossing the cut
+  double capacity = 0.0;           // sum of original capacities of cut edges
+};
+
+/// Must be called on a network *after* a max-flow solve (residuals mutated).
+MinCut extract_min_cut(const FlowNetwork& net, NodeId s);
+
+}  // namespace moment::maxflow

@@ -1,0 +1,150 @@
+#include "maxflow/push_relabel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace moment::maxflow {
+
+namespace {
+
+class PushRelabelState {
+ public:
+  PushRelabelState(FlowNetwork& net, NodeId s, NodeId t)
+      : net_(net), s_(s), t_(t),
+        n_(static_cast<std::size_t>(net.num_nodes())),
+        height_(n_, 0), excess_(n_, 0.0), iter_(n_, 0),
+        height_count_(2 * n_ + 1, 0) {}
+
+  MaxFlowResult run() {
+    // Infinite capacities break the height arithmetic; replace them with a
+    // finite bound larger than any possible flow.
+    double finite_sum = 0.0;
+    for (NodeId u = 0; u < net_.num_nodes(); ++u) {
+      for (EdgeId eid : net_.incident(u)) {
+        const auto& e = net_.edge(eid);
+        if (!e.is_residual && std::isfinite(e.capacity)) {
+          finite_sum += e.capacity;
+        }
+      }
+    }
+    const double big = finite_sum + 1.0;
+    for (NodeId u = 0; u < net_.num_nodes(); ++u) {
+      for (EdgeId eid : net_.incident(u)) {
+        auto& e = net_.edge(eid);
+        if (!e.is_residual && std::isinf(e.capacity)) e.capacity = big;
+      }
+    }
+
+    height_[static_cast<std::size_t>(s_)] = static_cast<int>(n_);
+    height_count_[0] = static_cast<int>(n_) - 1;
+    height_count_[n_] = 1;
+
+    // Saturate source edges.
+    for (EdgeId eid : net_.incident(s_)) {
+      auto& e = net_.edge(eid);
+      if (e.is_residual || net_.edge_source(eid) != s_) continue;
+      push(eid, e.capacity);
+    }
+
+    while (!active_.empty()) {
+      const NodeId u = active_.front();
+      active_.pop();
+      if (u == s_ || u == t_) continue;
+      discharge(u);
+    }
+
+    MaxFlowResult result;
+    result.total_flow = excess_[static_cast<std::size_t>(t_)];
+    return result;
+  }
+
+ private:
+  void push(EdgeId eid, double amount) {
+    auto& e = net_.edge(eid);
+    const NodeId u = net_.edge_source(eid);
+    const NodeId v = e.to;
+    e.capacity -= amount;
+    net_.edge(e.reverse).capacity += amount;
+    excess_[static_cast<std::size_t>(u)] -= amount;
+    const bool was_inactive = excess_[static_cast<std::size_t>(v)] <= kFlowEps;
+    excess_[static_cast<std::size_t>(v)] += amount;
+    if (was_inactive && v != s_ && v != t_ &&
+        excess_[static_cast<std::size_t>(v)] > kFlowEps) {
+      active_.push(v);
+    }
+  }
+
+  void relabel(NodeId u) {
+    const int old_height = height_[static_cast<std::size_t>(u)];
+    int min_height = 2 * static_cast<int>(n_);
+    for (EdgeId eid : net_.incident(u)) {
+      const auto& e = net_.edge(eid);
+      if (net_.edge_source(eid) != u || e.capacity <= kFlowEps) continue;
+      min_height =
+          std::min(min_height, height_[static_cast<std::size_t>(e.to)] + 1);
+    }
+    --height_count_[static_cast<std::size_t>(old_height)];
+    height_[static_cast<std::size_t>(u)] = min_height;
+    ++height_count_[static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(min_height),
+                              2 * n_))];
+    // Gap heuristic: if no node remains at old_height, everything above it
+    // (below n) can jump straight over the gap.
+    if (old_height < static_cast<int>(n_) &&
+        height_count_[static_cast<std::size_t>(old_height)] == 0) {
+      for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+        int& h = height_[static_cast<std::size_t>(v)];
+        if (h > old_height && h < static_cast<int>(n_) && v != s_) {
+          --height_count_[static_cast<std::size_t>(h)];
+          h = static_cast<int>(n_) + 1;
+          ++height_count_[static_cast<std::size_t>(h)];
+        }
+      }
+    }
+  }
+
+  void discharge(NodeId u) {
+    while (excess_[static_cast<std::size_t>(u)] > kFlowEps) {
+      const auto& incident = net_.incident(u);
+      if (iter_[static_cast<std::size_t>(u)] >= incident.size()) {
+        iter_[static_cast<std::size_t>(u)] = 0;
+        relabel(u);
+        if (height_[static_cast<std::size_t>(u)] >= 2 * static_cast<int>(n_)) {
+          return;  // unreachable from t; leftover excess flows back later
+        }
+        continue;
+      }
+      const EdgeId eid = incident[iter_[static_cast<std::size_t>(u)]];
+      const auto& e = net_.edge(eid);
+      if (net_.edge_source(eid) == u && e.capacity > kFlowEps &&
+          height_[static_cast<std::size_t>(u)] ==
+              height_[static_cast<std::size_t>(e.to)] + 1) {
+        push(eid, std::min(excess_[static_cast<std::size_t>(u)], e.capacity));
+      } else {
+        ++iter_[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+
+  FlowNetwork& net_;
+  NodeId s_, t_;
+  std::size_t n_;
+  std::vector<int> height_;
+  std::vector<double> excess_;
+  std::vector<std::size_t> iter_;
+  std::vector<int> height_count_;
+  std::queue<NodeId> active_;
+};
+
+}  // namespace
+
+MaxFlowResult PushRelabel::solve(FlowNetwork& net, NodeId s, NodeId t) {
+  assert(s != t);
+  PushRelabelState state(net, s, t);
+  return state.run();
+}
+
+}  // namespace moment::maxflow

@@ -1,0 +1,43 @@
+#pragma once
+// Model presets for the evaluation: per-batch GPU compute times calibrated so
+// the compute/IO balance matches the paper's setting (GNN training is
+// IO-bound for both models on these machines; GAT is ~2x heavier than
+// GraphSAGE at hidden 64 x 8 heads vs hidden 256).
+
+#include <string>
+
+#include "gnn/model.hpp"
+
+namespace moment::runtime {
+
+struct ModelPreset {
+  gnn::ModelKind kind;
+  std::string name;
+  /// A100 per-batch training time (batch 8000, 2-hop [25,10]), seconds.
+  double compute_time_per_batch;
+  std::size_t hidden_dim;
+  std::size_t heads;
+};
+
+inline ModelPreset graphsage_preset() {
+  return {gnn::ModelKind::kGraphSage, "GraphSAGE", 0.055, 256, 1};
+}
+
+inline ModelPreset gat_preset() {
+  return {gnn::ModelKind::kGat, "GAT", 0.110, 64, 8};
+}
+
+inline ModelPreset gcn_preset() {
+  return {gnn::ModelKind::kGcn, "GCN", 0.045, 256, 1};
+}
+
+inline ModelPreset model_preset(gnn::ModelKind kind) {
+  switch (kind) {
+    case gnn::ModelKind::kGat: return gat_preset();
+    case gnn::ModelKind::kGcn: return gcn_preset();
+    case gnn::ModelKind::kGraphSage: break;
+  }
+  return graphsage_preset();
+}
+
+}  // namespace moment::runtime

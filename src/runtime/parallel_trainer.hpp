@@ -1,0 +1,68 @@
+#pragma once
+// Functional data-parallel trainer: N worker threads ("GPUs"), each with its
+// own model replica, sampler and feature provider, synchronised per round by
+// gradient averaging (DDP semantics). Training vertices are evenly
+// partitioned across workers, as in the paper's runtime (Section 3.1).
+//
+// This is the *functional* counterpart of the flow-level simulator: it runs
+// the real sampler, the real feature path (optionally through the NVMe IO
+// stack), and the real GNN forward/backward.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gnn/features.hpp"
+#include "gnn/model.hpp"
+#include "gnn/optimizer.hpp"
+#include "graph/csr.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace moment::runtime {
+
+struct EpochStats {
+  float mean_loss = 0.0f;
+  float mean_accuracy = 0.0f;
+  std::size_t batches = 0;
+  std::size_t fetched_vertices = 0;
+  double wall_time_s = 0.0;
+};
+
+class DataParallelTrainer {
+ public:
+  /// `providers.size()` defines the worker count; each worker uses its own
+  /// provider (e.g. a per-GPU TieredFeatureClient).
+  DataParallelTrainer(const graph::CsrGraph& graph,
+                      std::vector<gnn::FeatureProvider*> providers,
+                      const gnn::ModelConfig& model_config,
+                      std::vector<int> fanouts,
+                      std::vector<graph::VertexId> train_vertices,
+                      float learning_rate, std::uint64_t seed);
+
+  /// One epoch over the partitioned training set. `max_rounds` truncates for
+  /// tests. Labels index by global vertex id.
+  EpochStats train_epoch(std::span<const std::int32_t> labels,
+                         std::size_t batch_size,
+                         std::size_t max_rounds = SIZE_MAX);
+
+  std::size_t num_workers() const noexcept { return providers_.size(); }
+  gnn::GnnModel& replica(std::size_t i) { return *models_[i]; }
+
+  /// True when all replicas hold bitwise-close parameters (DDP invariant).
+  bool replicas_in_sync(float tolerance = 1e-5f) const;
+
+ private:
+  void all_reduce_grads();
+
+  const graph::CsrGraph& graph_;
+  std::vector<gnn::FeatureProvider*> providers_;
+  std::vector<std::unique_ptr<gnn::GnnModel>> models_;
+  std::vector<std::unique_ptr<gnn::Optimizer>> optimizers_;
+  std::vector<std::unique_ptr<sampling::NeighborSampler>> samplers_;
+  std::vector<std::vector<graph::VertexId>> partitions_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace moment::runtime

@@ -1,0 +1,66 @@
+#include "sampling/hotness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace moment::sampling {
+
+std::vector<VertexId> HotnessProfile::by_hotness_desc() const {
+  std::vector<VertexId> order(hotness.size());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return hotness[a] > hotness[b];
+  });
+  return order;
+}
+
+HotnessProfile profile_hotness(const CsrGraph& graph,
+                               const NeighborSampler& sampler,
+                               const std::vector<VertexId>& train_vertices,
+                               const HotnessOptions& options) {
+  HotnessProfile profile;
+  profile.hotness.assign(graph.num_vertices(), 0.0);
+  profile.profiled_batches = options.num_batches;
+  profile.batch_size = options.batch_size;
+
+  BatchIterator batches(train_vertices, options.batch_size, options.seed);
+  util::Pcg32 rng(options.seed, 0x484f544e);  // "HOTN"
+
+  std::size_t total_fetches = 0;
+  for (std::size_t b = 0; b < options.num_batches; ++b) {
+    auto batch = batches.next();
+    if (batch.empty()) {
+      batches.reset_epoch();
+      batch = batches.next();
+    }
+    const SampledSubgraph sg = sampler.sample(batch, rng);
+    for (VertexId v : sg.fetch_set) {
+      profile.hotness[v] += 1.0;
+    }
+    total_fetches += sg.fetch_set.size();
+  }
+
+  const auto nb = static_cast<double>(options.num_batches);
+  for (double& h : profile.hotness) h /= nb;
+  profile.fetches_per_batch = static_cast<double>(total_fetches) / nb;
+
+  // Skew fingerprint.
+  std::vector<double> sorted = profile.hotness;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total > 0.0) {
+    auto share = [&](double pct) {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(pct * static_cast<double>(sorted.size())));
+      return std::accumulate(sorted.begin(),
+                             sorted.begin() + static_cast<long>(k), 0.0) /
+             total;
+    };
+    profile.top1pct_traffic = share(0.01);
+    profile.top5pct_traffic = share(0.05);
+    profile.top10pct_traffic = share(0.10);
+  }
+  return profile;
+}
+
+}  // namespace moment::sampling

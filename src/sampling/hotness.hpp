@@ -1,0 +1,44 @@
+#pragma once
+// Pre-sampling hotness profiler (paper Section 3.3: "We first collect vertex
+// hotness information through pre-sampling"). Runs the real sampler over a
+// number of warm-up batches and counts how often each vertex appears in the
+// feature-fetch set. The normalised counts are the hotness distribution DDAK
+// sorts by, and the per-epoch access volume estimate the simulator scales to
+// paper-size traffic.
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/neighbor_sampler.hpp"
+
+namespace moment::sampling {
+
+struct HotnessProfile {
+  /// Per-vertex expected fetches per batch (access frequency).
+  std::vector<double> hotness;
+  /// Expected unique-vertex fetches per batch (after in-batch dedup).
+  double fetches_per_batch = 0.0;
+  /// Fraction of all fetches that hit the hottest `k`% of vertices, for
+  /// k = 1, 5, 10 — the skew fingerprint used in tests and docs.
+  double top1pct_traffic = 0.0;
+  double top5pct_traffic = 0.0;
+  double top10pct_traffic = 0.0;
+  std::size_t profiled_batches = 0;
+  std::size_t batch_size = 0;  // seeds per profiled batch
+
+  /// Vertices sorted by descending hotness (DDAK's allocation order).
+  std::vector<VertexId> by_hotness_desc() const;
+};
+
+struct HotnessOptions {
+  std::size_t num_batches = 32;
+  std::size_t batch_size = 1024;
+  std::uint64_t seed = 7;
+};
+
+HotnessProfile profile_hotness(const CsrGraph& graph,
+                               const NeighborSampler& sampler,
+                               const std::vector<VertexId>& train_vertices,
+                               const HotnessOptions& options = {});
+
+}  // namespace moment::sampling

@@ -1,0 +1,127 @@
+#include "sampling/neighbor_sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace moment::sampling {
+
+std::size_t SampledSubgraph::num_sampled_edges() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.edges.size();
+  return n;
+}
+
+NeighborSampler::NeighborSampler(const CsrGraph& graph,
+                                 std::vector<int> fanouts)
+    : graph_(graph), fanouts_(std::move(fanouts)) {
+  if (fanouts_.empty()) {
+    throw std::invalid_argument("NeighborSampler: fanouts must be non-empty");
+  }
+  for (int f : fanouts_) {
+    if (f <= 0) throw std::invalid_argument("NeighborSampler: fanout <= 0");
+  }
+}
+
+double NeighborSampler::expansion_factor() const noexcept {
+  // DGL block semantics: each hop's frontier is (previous frontier U sampled
+  // neighbors), so the vertex count multiplies by (1 + fanout) per hop.
+  double factor = 1.0;
+  for (int f : fanouts_) factor *= 1.0 + static_cast<double>(f);
+  return factor;
+}
+
+SampledSubgraph NeighborSampler::sample(std::span<const VertexId> seeds,
+                                        util::Pcg32& rng) const {
+  SampledSubgraph sg;
+  sg.seeds.assign(seeds.begin(), seeds.end());
+  sg.layers.resize(fanouts_.size());
+
+  std::unordered_set<VertexId> fetch(seeds.begin(), seeds.end());
+  std::vector<VertexId> frontier(seeds.begin(), seeds.end());
+
+  for (std::size_t hop = 0; hop < fanouts_.size(); ++hop) {
+    SampledLayer& layer = sg.layers[hop];
+    const int fanout = fanouts_[hop];
+    // DGL block semantics: the next hop samples neighbors for the previous
+    // frontier PLUS its sampled sources (every block's dst set is a subset
+    // of its src set, so self features are available to UPDATE).
+    std::unordered_set<VertexId> next_frontier(frontier.begin(),
+                                               frontier.end());
+    layer.dst_vertices = frontier;
+    layer.edges.reserve(frontier.size() * static_cast<std::size_t>(fanout));
+    for (VertexId dst : frontier) {
+      const auto nbrs = graph_.neighbors(dst);
+      if (nbrs.empty()) continue;
+      // Sampling WITH replacement (DGL's default for uniform neighbor
+      // sampling when fanout can exceed degree).
+      for (int k = 0; k < fanout; ++k) {
+        const VertexId src =
+            nbrs[rng.next_below(static_cast<std::uint32_t>(nbrs.size()))];
+        layer.edges.emplace_back(dst, src);
+        fetch.insert(src);
+        next_frontier.insert(src);
+      }
+    }
+    frontier.assign(next_frontier.begin(), next_frontier.end());
+    // Keep frontier deterministic regardless of hash-set iteration order.
+    std::sort(frontier.begin(), frontier.end());
+  }
+
+  sg.fetch_set.assign(fetch.begin(), fetch.end());
+  std::sort(sg.fetch_set.begin(), sg.fetch_set.end());
+  return sg;
+}
+
+BatchIterator::BatchIterator(std::vector<VertexId> train_vertices,
+                             std::size_t batch_size, std::uint64_t seed)
+    : vertices_(std::move(train_vertices)), batch_size_(batch_size),
+      rng_(seed, 0x42415443) {  // "BATC"
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("BatchIterator: batch_size must be > 0");
+  }
+  reset_epoch();
+}
+
+std::span<const VertexId> BatchIterator::next() {
+  if (cursor_ >= vertices_.size()) return {};
+  const std::size_t take = std::min(batch_size_, vertices_.size() - cursor_);
+  std::span<const VertexId> batch{vertices_.data() + cursor_, take};
+  cursor_ += take;
+  return batch;
+}
+
+void BatchIterator::reset_epoch() {
+  cursor_ = 0;
+  // Fisher-Yates with our deterministic generator.
+  for (std::size_t i = vertices_.size(); i > 1; --i) {
+    const std::size_t j = rng_.next_below(static_cast<std::uint32_t>(i));
+    std::swap(vertices_[i - 1], vertices_[j]);
+  }
+}
+
+std::size_t BatchIterator::num_batches() const noexcept {
+  return (vertices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<VertexId> select_train_vertices(const CsrGraph& graph,
+                                            double fraction,
+                                            std::uint64_t seed) {
+  const auto n = graph.num_vertices();
+  auto want = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  want = std::max<std::size_t>(1, std::min<std::size_t>(want, n));
+  // Partial Fisher-Yates over implicit [0, n): pick `want` distinct vertices.
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  util::Pcg32 rng(seed, 0x5452414e);  // "TRAN"
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j =
+        i + rng.next_below(static_cast<std::uint32_t>(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(want);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace moment::sampling

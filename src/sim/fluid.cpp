@@ -1,0 +1,130 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace moment::sim {
+
+using maxflow::EdgeId;
+
+std::vector<double> max_min_rates(const topology::FlowGraph& fg,
+                                  const std::vector<SubStream>& streams,
+                                  const std::vector<bool>& active) {
+  std::vector<double> rates(streams.size(), 0.0);
+
+  // Collect the finite-capacity edges in use and their stream lists.
+  std::map<EdgeId, std::vector<std::size_t>> users;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (!active[i]) continue;
+    for (EdgeId e : streams[i].edges) {
+      if (std::isinf(fg.net.original_capacity(e))) continue;
+      users[e].push_back(i);
+    }
+  }
+
+  std::vector<bool> frozen(streams.size(), false);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (!active[i]) frozen[i] = true;
+  }
+  std::map<EdgeId, double> residual;
+  for (const auto& [e, _] : users) residual[e] = fg.net.original_capacity(e);
+
+  // Progressive filling: raise all unfrozen rates together; the edge with
+  // the smallest per-stream headroom saturates first and freezes its users.
+  for (;;) {
+    double best_inc = std::numeric_limits<double>::infinity();
+    EdgeId best_edge = -1;
+    for (const auto& [e, streams_on_e] : users) {
+      int unfrozen = 0;
+      for (std::size_t i : streams_on_e) {
+        if (!frozen[i]) ++unfrozen;
+      }
+      if (unfrozen == 0) continue;
+      const double inc = residual[e] / unfrozen;
+      if (inc < best_inc) {
+        best_inc = inc;
+        best_edge = e;
+      }
+    }
+    if (best_edge < 0) break;  // every remaining stream is unconstrained
+
+    // Raise all unfrozen streams by best_inc and charge every used edge.
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (frozen[i]) continue;
+      rates[i] += best_inc;
+      for (EdgeId e : streams[i].edges) {
+        if (auto it = residual.find(e); it != residual.end()) {
+          it->second -= best_inc;
+        }
+      }
+    }
+    // Freeze the users of the saturated edge.
+    for (std::size_t i : users[best_edge]) frozen[i] = true;
+  }
+
+  // Streams that use no finite edge (HBM-local) get effectively infinite
+  // rate; give them a very large finite value so completions order sensibly.
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (active[i] && rates[i] == 0.0) {
+      bool constrained = false;
+      for (EdgeId e : streams[i].edges) {
+        if (!std::isinf(fg.net.original_capacity(e))) constrained = true;
+      }
+      if (!constrained) rates[i] = 1e15;
+    }
+  }
+  return rates;
+}
+
+FluidResult simulate_round(const topology::FlowGraph& fg,
+                           std::vector<SubStream> streams, int num_gpus) {
+  FluidResult result;
+  result.gpu_finish.assign(static_cast<std::size_t>(num_gpus), 0.0);
+  result.edge_bytes.assign(fg.net.num_edges() * 2, 0.0);
+
+  std::vector<bool> active(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    active[i] = streams[i].bytes > 1e-9;
+  }
+
+  double now = 0.0;
+  for (;;) {
+    bool any = false;
+    for (bool a : active) any |= a;
+    if (!any) break;
+
+    const std::vector<double> rates = max_min_rates(fg, streams, active);
+
+    // Earliest completion among active streams.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (!active[i] || rates[i] <= 0.0) continue;
+      dt = std::min(dt, streams[i].bytes / rates[i]);
+    }
+    if (!std::isfinite(dt)) break;  // starved streams (shouldn't happen)
+
+    now += dt;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (!active[i]) continue;
+      const double moved = rates[i] * dt;
+      streams[i].bytes -= moved;
+      for (EdgeId e : streams[i].edges) {
+        result.edge_bytes[static_cast<std::size_t>(e)] += moved;
+      }
+      if (streams[i].bytes <= 1e-6) {
+        active[i] = false;
+        const auto g = static_cast<std::size_t>(streams[i].gpu);
+        if (g < result.gpu_finish.size()) {
+          result.gpu_finish[g] = std::max(result.gpu_finish[g], now);
+        }
+      }
+    }
+    ++result.events;
+  }
+  result.finish_time = now;
+  return result;
+}
+
+}  // namespace moment::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Fluid (flow-level) contention simulation of one training round.
+//
+// Every GPU starts its feature-fetch streams simultaneously; concurrent
+// streams share physical links max-min fairly (progressive filling — the
+// standard model of PCIe/QPI arbitration between request streams). The
+// simulation is event-driven: compute fair rates, advance to the earliest
+// stream completion, recompute. Outputs per-GPU IO finish times (load
+// imbalance appears here) and per-edge bytes (QPI traffic accounting).
+
+#include <vector>
+
+#include "maxflow/flow_network.hpp"
+#include "topology/flow_graph.hpp"
+
+namespace moment::sim {
+
+struct SubStream {
+  int gpu = -1;                          // consuming GPU index
+  int storage_index = -1;                // FlowGraph storage index (-1 local)
+  std::vector<maxflow::EdgeId> edges;    // physical route (may be empty)
+  double bytes = 0.0;                    // bytes to move this round
+};
+
+struct FluidResult {
+  double finish_time = 0.0;             // last stream completion (s)
+  std::vector<double> gpu_finish;       // per-GPU IO completion (s)
+  std::vector<double> edge_bytes;       // bytes moved per forward EdgeId
+  std::size_t events = 0;
+};
+
+/// Simulates one round. `num_gpus` sizes the per-GPU result. Streams with
+/// empty edge lists (HBM-local hits) complete at t=0.
+FluidResult simulate_round(const topology::FlowGraph& fg,
+                           std::vector<SubStream> streams, int num_gpus);
+
+/// Max-min fair rates for a set of active streams (exposed for testing).
+/// `capacity[e]` applies per forward edge; infinite edges never bind.
+std::vector<double> max_min_rates(const topology::FlowGraph& fg,
+                                  const std::vector<SubStream>& streams,
+                                  const std::vector<bool>& active);
+
+}  // namespace moment::sim

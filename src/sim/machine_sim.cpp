@@ -1,0 +1,250 @@
+#include "sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace moment::sim {
+
+std::vector<ddak::Bin> merge_replicated_gpu_bins(
+    std::span<const ddak::Bin> bins) {
+  std::vector<ddak::Bin> out;
+  ddak::Bin merged;
+  merged.name = "GPU.HBM(replicated)";
+  merged.storage_index = -1;
+  merged.tier = topology::StorageTier::kGpuHbm;
+  bool any_gpu = false;
+  for (const auto& b : bins) {
+    if (b.tier == topology::StorageTier::kGpuHbm) {
+      any_gpu = true;
+      merged.capacity_vertices =
+          merged.capacity_vertices == 0.0
+              ? b.capacity_vertices
+              : std::min(merged.capacity_vertices, b.capacity_vertices);
+      merged.traffic_target += b.traffic_target;
+    } else {
+      out.push_back(b);
+    }
+  }
+  if (any_gpu) out.insert(out.begin(), merged);
+  return out;
+}
+
+std::vector<ddak::Bin> merge_replicated_cpu_bins(
+    std::span<const ddak::Bin> bins, double mirror_fraction) {
+  mirror_fraction = std::clamp(mirror_fraction, 0.0, 1.0);
+  std::vector<ddak::Bin> out;
+  ddak::Bin mirrored;
+  mirrored.name = "CPU.DRAM(mirrored)";
+  mirrored.tier = topology::StorageTier::kCpuDram;
+  bool any_cpu = false;
+  double capacity_total = 0.0;
+  double min_socket_capacity = 0.0;
+  std::vector<ddak::Bin> exclusives;
+  for (const auto& b : bins) {
+    if (b.tier == topology::StorageTier::kCpuDram && b.storage_index >= 0) {
+      any_cpu = true;
+      capacity_total += b.capacity_vertices;
+      min_socket_capacity =
+          min_socket_capacity == 0.0
+              ? b.capacity_vertices
+              : std::min(min_socket_capacity, b.capacity_vertices);
+      mirrored.traffic_target += b.traffic_target * mirror_fraction;
+      mirrored.replica_storage_indices.push_back(b.storage_index);
+      ddak::Bin exclusive = b;
+      exclusive.capacity_vertices *= 1.0 - mirror_fraction;
+      exclusive.traffic_target *= 1.0 - mirror_fraction;
+      exclusives.push_back(std::move(exclusive));
+    } else {
+      out.push_back(b);
+    }
+  }
+  if (any_cpu) {
+    // The mirrored content occupies mirror_fraction of every socket's
+    // budget; the hottest vertices land here (largest CPU-tier target).
+    mirrored.capacity_vertices = mirror_fraction * min_socket_capacity;
+    mirrored.storage_index = mirrored.replica_storage_indices.front();
+    if (mirrored.capacity_vertices >= 1.0) out.push_back(mirrored);
+    for (auto& e : exclusives) {
+      if (e.capacity_vertices >= 1.0) out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+SimReport simulate_epoch(const topology::Topology& topo,
+                         const topology::FlowGraph& fg_in,
+                         const ddak::EpochWorkload& workload,
+                         std::span<const ddak::Bin> bins,
+                         const ddak::DataPlacementResult& placement,
+                         const SimOptions& options) {
+  if (placement.bin_traffic_share.size() != bins.size()) {
+    throw std::invalid_argument("simulate_epoch: placement/bins mismatch");
+  }
+  // Optional IOPS modelling: cap each SSD's egress edge at iops * request
+  // size (4 KiB random reads are IOPS-bound before they are bandwidth-bound
+  // on real NVMe).
+  topology::FlowGraph capped;
+  const topology::FlowGraph* fg_ptr = &fg_in;
+  if (options.ssd_iops > 0.0) {
+    capped = fg_in;
+    const double cap = options.ssd_iops * options.ssd_request_bytes;
+    for (const auto& s : capped.storage) {
+      if (s.tier != topology::StorageTier::kSsd) continue;
+      for (maxflow::EdgeId eid : capped.net.incident(s.node)) {
+        const auto& e = capped.net.edge(eid);
+        if (e.is_residual || capped.net.edge_source(eid) != s.node) continue;
+        capped.net.set_capacity(
+            eid, std::min(capped.net.original_capacity(eid), cap));
+      }
+    }
+    fg_ptr = &capped;
+  }
+  const topology::FlowGraph& fg = *fg_ptr;
+  const int num_gpus = static_cast<int>(fg.gpus.size());
+  if (num_gpus == 0) throw std::invalid_argument("simulate_epoch: no GPUs");
+
+  const double bytes_per_batch =
+      workload.fetches_per_batch * workload.feature_bytes;
+
+  // Build one round's sub-streams: every GPU fetches one batch concurrently.
+  std::vector<SubStream> streams;
+  double local_bytes_per_gpu = 0.0;  // HBM-replicated hits, same for each GPU
+  for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+    if (bins[bi].storage_index < 0) {
+      local_bytes_per_gpu +=
+          bytes_per_batch * placement.bin_traffic_share[bi];
+    }
+  }
+  // M-GIDS partitioning bookkeeping: ordinal of each SSD bin and the total
+  // SSD-tier traffic share.
+  std::vector<int> ssd_ordinal(bins.size(), -1);
+  int num_ssd_bins = 0;
+  double ssd_share_total = 0.0;
+  for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+    if (bins[bi].tier == topology::StorageTier::kSsd) {
+      ssd_ordinal[bi] = num_ssd_bins++;
+      ssd_share_total += placement.bin_traffic_share[bi];
+    }
+  }
+
+  for (int g = 0; g < num_gpus; ++g) {
+    const maxflow::NodeId comp = fg.gpus[static_cast<std::size_t>(g)].comp_node;
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      double share = placement.bin_traffic_share[bi];
+      const ddak::Bin& bin = bins[bi];
+      if (options.partition_ssds_per_gpu && ssd_ordinal[bi] >= 0 &&
+          num_ssd_bins > 0) {
+        // GPU g draws its entire SSD byte share from its own SSD subset.
+        const int per_gpu = std::max(1, num_ssd_bins / num_gpus);
+        const int owner = std::min(ssd_ordinal[bi] / per_gpu, num_gpus - 1);
+        share = owner == g
+                    ? ssd_share_total / static_cast<double>(per_gpu)
+                    : 0.0;
+      }
+      if (share <= 1e-12) continue;
+      double bytes = bytes_per_batch * share;
+      if (bin.tier == topology::StorageTier::kSsd) {
+        bytes *= options.ssd_read_amplification;
+      }
+      if (bin.storage_index < 0) {
+        continue;  // replicated GPU cache: HBM-local, no fabric traffic
+      }
+      // Socket-replicated bins: this GPU reads from its nearest replica.
+      int chosen = bin.storage_index;
+      if (bin.replica_storage_indices.size() > 1) {
+        std::size_t best_hops = std::numeric_limits<std::size_t>::max();
+        for (int ri : bin.replica_storage_indices) {
+          const PathSet rp = find_paths(
+              fg, fg.storage[static_cast<std::size_t>(ri)].node, comp,
+              RoutingPolicy::kSinglePath);
+          if (!rp.paths.empty() && rp.paths[0].size() < best_hops) {
+            best_hops = rp.paths[0].size();
+            chosen = ri;
+          }
+        }
+      }
+      const auto& storage =
+          fg.storage[static_cast<std::size_t>(chosen)];
+      const PathSet ps =
+          find_paths(fg, storage.node, comp, options.routing,
+                     options.max_paths);
+      if (ps.paths.empty()) {
+        throw std::logic_error("simulate_epoch: no route from " + bin.name +
+                               " to GPU" + std::to_string(g));
+      }
+      for (std::size_t p = 0; p < ps.paths.size(); ++p) {
+        SubStream s;
+        s.gpu = g;
+        s.storage_index = chosen;
+        s.edges = ps.paths[p];
+        s.bytes = bytes * ps.weights[p];
+        streams.push_back(std::move(s));
+      }
+    }
+  }
+
+  const FluidResult round = simulate_round(fg, streams, num_gpus);
+
+  SimReport report;
+  report.io_round_time_s = round.finish_time;
+  report.round_time_s =
+      std::max(round.finish_time, options.compute_time_per_batch) +
+      options.round_overhead_s;
+  report.io_bound = round.finish_time >= options.compute_time_per_batch;
+
+  const std::size_t rounds =
+      (workload.batches_per_epoch + static_cast<std::size_t>(num_gpus) - 1) /
+      static_cast<std::size_t>(num_gpus);
+  report.rounds = rounds;
+  // Pipeline: IO of round k overlaps compute of round k-1; the tail adds one
+  // compute phase.
+  report.epoch_time_s = static_cast<double>(rounds) * report.round_time_s +
+                        options.compute_time_per_batch;
+  report.throughput_seeds_per_s =
+      static_cast<double>(workload.batch_size) *
+      static_cast<double>(num_gpus) / report.round_time_s;
+
+  report.per_gpu_io_bandwidth.resize(static_cast<std::size_t>(num_gpus), 0.0);
+  std::vector<double> finishes;
+  for (int g = 0; g < num_gpus; ++g) {
+    const double t = round.gpu_finish[static_cast<std::size_t>(g)];
+    finishes.push_back(t);
+    const double fabric_bytes = bytes_per_batch - local_bytes_per_gpu;
+    report.per_gpu_io_bandwidth[static_cast<std::size_t>(g)] =
+        t > 0.0 ? fabric_bytes / t : 0.0;
+  }
+  report.imbalance_cv = util::coefficient_of_variation(finishes);
+  report.agg_io_bandwidth =
+      round.finish_time > 0.0
+          ? (bytes_per_batch - local_bytes_per_gpu) *
+                static_cast<double>(num_gpus) / round.finish_time
+          : 0.0;
+
+  // Map per-edge bytes back to physical links, scaled to the whole epoch.
+  const auto scale = static_cast<double>(rounds);
+  for (const auto& le : fg.link_edges) {
+    if (le.link < 0) continue;
+    LinkTrafficReport lt;
+    lt.link = le.link;
+    const auto& l = topo.link(le.link);
+    lt.label = l.label;
+    lt.kind = l.kind;
+    if (le.ab >= 0) {
+      lt.bytes_ab = round.edge_bytes[static_cast<std::size_t>(le.ab)] * scale;
+    }
+    if (le.ba >= 0) {
+      lt.bytes_ba = round.edge_bytes[static_cast<std::size_t>(le.ba)] * scale;
+    }
+    if (lt.kind == topology::LinkKind::kQpi) {
+      report.qpi_bytes += lt.bytes_ab + lt.bytes_ba;
+    }
+    report.link_traffic.push_back(std::move(lt));
+  }
+  return report;
+}
+
+}  // namespace moment::sim

@@ -1,0 +1,38 @@
+#pragma once
+// Route computation for the runtime simulator. A stream (storage node ->
+// GPU compute node) follows one or more concrete paths over the physical
+// edges of the compiled flow graph.
+//
+// Routing policies mirror the systems being modelled:
+//   kSinglePath — what a topology-oblivious runtime does: every request for a
+//     given (SSD, GPU) pair takes the one obvious PCIe route.
+//   kMultiPath  — Moment's flow-guided IO stack: traffic splits across up to
+//     `max_paths` distinct routes weighted by bottleneck capacity, the
+//     realisation of the max-flow traffic plan.
+
+#include <vector>
+
+#include "maxflow/flow_network.hpp"
+#include "topology/flow_graph.hpp"
+
+namespace moment::sim {
+
+enum class RoutingPolicy { kSinglePath, kMultiPath };
+
+struct PathSet {
+  /// Each path is a sequence of forward flow-edge ids from storage node to
+  /// compute node.
+  std::vector<std::vector<maxflow::EdgeId>> paths;
+  /// Traffic split weights, normalised to sum 1.
+  std::vector<double> weights;
+};
+
+/// Finds up to `max_paths` hop-shortest (capacity-widest among equals) paths
+/// from `from` to `to`, avoiding the virtual source/sink. Later paths are
+/// discouraged from reusing earlier paths' edges. Returns an empty set if the
+/// nodes are disconnected.
+PathSet find_paths(const topology::FlowGraph& fg, maxflow::NodeId from,
+                   maxflow::NodeId to, RoutingPolicy policy,
+                   int max_paths = 3);
+
+}  // namespace moment::sim

@@ -1,0 +1,164 @@
+#include "sim/trace_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace moment::sim {
+
+TraceSimReport simulate_epoch_traced(
+    const topology::Topology& topo, const topology::FlowGraph& fg,
+    const ddak::EpochWorkload& workload,
+    std::span<const ddak::Bin> bins,
+    const ddak::DataPlacementResult& placement,
+    const sampling::NeighborSampler& sampler,
+    std::span<const graph::VertexId> train_vertices,
+    const TraceSimOptions& options) {
+  if (train_vertices.empty()) {
+    throw std::invalid_argument("simulate_epoch_traced: no train vertices");
+  }
+  const int num_gpus = static_cast<int>(fg.gpus.size());
+  if (num_gpus == 0) {
+    throw std::invalid_argument("simulate_epoch_traced: no GPUs");
+  }
+  const std::size_t scaled_batch =
+      options.scaled_batch_size > 0 ? options.scaled_batch_size : 8;
+  const double round_bytes_per_gpu =
+      workload.fetches_per_batch * workload.feature_bytes;
+
+  // Precompute each bin's route set per GPU once (routes are static).
+  struct Route {
+    std::vector<std::vector<maxflow::EdgeId>> paths;
+    std::vector<double> weights;
+    bool local = false;  // replicated GPU cache: no fabric traffic
+  };
+  std::vector<std::vector<Route>> routes(
+      static_cast<std::size_t>(num_gpus),
+      std::vector<Route>(bins.size()));
+  for (int g = 0; g < num_gpus; ++g) {
+    const maxflow::NodeId comp =
+        fg.gpus[static_cast<std::size_t>(g)].comp_node;
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      Route& route = routes[static_cast<std::size_t>(g)][bi];
+      if (bins[bi].storage_index < 0) {
+        route.local = true;
+        continue;
+      }
+      int chosen = bins[bi].storage_index;
+      if (bins[bi].replica_storage_indices.size() > 1) {
+        std::size_t best_hops = SIZE_MAX;
+        for (int ri : bins[bi].replica_storage_indices) {
+          const PathSet rp = find_paths(
+              fg, fg.storage[static_cast<std::size_t>(ri)].node, comp,
+              RoutingPolicy::kSinglePath);
+          if (!rp.paths.empty() && rp.paths[0].size() < best_hops) {
+            best_hops = rp.paths[0].size();
+            chosen = ri;
+          }
+        }
+      }
+      const PathSet ps = find_paths(
+          fg, fg.storage[static_cast<std::size_t>(chosen)].node, comp,
+          options.base.routing, options.base.max_paths);
+      if (ps.paths.empty()) {
+        throw std::logic_error("simulate_epoch_traced: no route from " +
+                               bins[bi].name);
+      }
+      route.paths = ps.paths;
+      route.weights = ps.weights;
+    }
+  }
+
+  util::Pcg32 rng(options.seed, 0x54524143);  // "TRAC"
+  std::vector<double> io_times;
+  std::vector<double> counts(bins.size());
+  double qpi_per_round = 0.0;
+
+  TraceSimReport report;
+  for (std::size_t round = 0; round < options.trace_rounds; ++round) {
+    std::vector<SubStream> streams;
+    for (int g = 0; g < num_gpus; ++g) {
+      // Sample a real batch for this GPU and bucket its fetch set by bin.
+      std::vector<graph::VertexId> seeds(scaled_batch);
+      for (auto& s : seeds) {
+        s = train_vertices[rng.next_below(
+            static_cast<std::uint32_t>(train_vertices.size()))];
+      }
+      const auto sg = sampler.sample(seeds, rng);
+      std::fill(counts.begin(), counts.end(), 0.0);
+      double total = 0.0;
+      for (graph::VertexId v : sg.fetch_set) {
+        const auto bi = placement.bin_of_vertex[v];
+        if (bi < 0 || static_cast<std::size_t>(bi) >= bins.size()) {
+          throw std::out_of_range("simulate_epoch_traced: vertex bin");
+        }
+        counts[static_cast<std::size_t>(bi)] += 1.0;
+        total += 1.0;
+      }
+      if (total <= 0.0) continue;
+      for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+        if (counts[bi] <= 0.0) continue;
+        double bytes = round_bytes_per_gpu * counts[bi] / total;
+        if (bins[bi].tier == topology::StorageTier::kSsd) {
+          bytes *= options.base.ssd_read_amplification;
+        }
+        const Route& route = routes[static_cast<std::size_t>(g)][bi];
+        if (route.local) continue;  // replicated HBM hit
+        for (std::size_t p = 0; p < route.paths.size(); ++p) {
+          SubStream s;
+          s.gpu = g;
+          s.storage_index = bins[bi].storage_index;
+          s.edges = route.paths[p];
+          s.bytes = bytes * route.weights[p];
+          streams.push_back(std::move(s));
+        }
+      }
+    }
+    const FluidResult res = simulate_round(fg, streams, num_gpus);
+    io_times.push_back(res.finish_time);
+    for (const auto& le : fg.link_edges) {
+      if (le.link < 0) continue;
+      if (topo.link(le.link).kind != topology::LinkKind::kQpi) continue;
+      if (le.ab >= 0) {
+        qpi_per_round += res.edge_bytes[static_cast<std::size_t>(le.ab)];
+      }
+      if (le.ba >= 0) {
+        qpi_per_round += res.edge_bytes[static_cast<std::size_t>(le.ba)];
+      }
+    }
+  }
+
+  report.traced_rounds = io_times.size();
+  report.round_io_time_s = util::summarize(io_times);
+  report.mean_round_time_s =
+      std::max(report.round_io_time_s.mean,
+               options.base.compute_time_per_batch) +
+      options.base.round_overhead_s;
+  report.rounds =
+      (workload.batches_per_epoch + static_cast<std::size_t>(num_gpus) - 1) /
+      static_cast<std::size_t>(num_gpus);
+  report.epoch_time_s = static_cast<double>(report.rounds) *
+                            report.mean_round_time_s +
+                        options.base.compute_time_per_batch;
+  report.throughput_seeds_per_s = static_cast<double>(workload.batch_size) *
+                                  static_cast<double>(num_gpus) /
+                                  report.mean_round_time_s;
+  if (report.traced_rounds > 0) {
+    report.qpi_bytes = qpi_per_round /
+                       static_cast<double>(report.traced_rounds) *
+                       static_cast<double>(report.rounds);
+  }
+
+  // Diagnostic: deviation from the expectation-mode simulator.
+  const SimReport expect =
+      simulate_epoch(topo, fg, workload, bins, placement, options.base);
+  if (expect.io_round_time_s > 0.0) {
+    report.deviation_from_expectation =
+        std::abs(report.round_io_time_s.mean - expect.io_round_time_s) /
+        expect.io_round_time_s;
+  }
+  return report;
+}
+
+}  // namespace moment::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Trace-driven epoch simulation. The expectation-mode simulator
+// (machine_sim) drives one representative round from the placement's
+// *expected* bin shares; this mode instead samples real mini-batches with
+// the real neighbor sampler, looks each fetched vertex up in the realised
+// data placement, and simulates every traced round individually. It captures
+// what expectation mode cannot: round-to-round variance from sampling noise
+// and placement granularity.
+//
+// Traced rounds are scaled to paper-size traffic the same way the workload
+// model is: a round's byte total is the paper-scale per-batch volume, split
+// across bins by the traced batch's observed composition.
+
+#include <cstdint>
+
+#include "ddak/workload.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "sim/machine_sim.hpp"
+#include "util/stats.hpp"
+
+namespace moment::sim {
+
+struct TraceSimOptions {
+  SimOptions base;
+  /// Rounds actually traced and fluid-simulated; the epoch extrapolates
+  /// from their mean (an epoch has thousands of statistically identical
+  /// rounds).
+  std::size_t trace_rounds = 12;
+  /// Seeds per traced batch on the scaled graph (defaults to the hotness
+  /// profiler's proportional batch size when 0).
+  std::size_t scaled_batch_size = 0;
+  std::uint64_t seed = 42;
+};
+
+struct TraceSimReport {
+  double epoch_time_s = 0.0;
+  double throughput_seeds_per_s = 0.0;
+  util::Summary round_io_time_s;  // across traced rounds
+  double mean_round_time_s = 0.0;
+  double qpi_bytes = 0.0;         // extrapolated per epoch
+  std::size_t rounds = 0;         // rounds per epoch (extrapolation base)
+  std::size_t traced_rounds = 0;
+  /// Relative deviation of traced mean IO time from the expectation-mode
+  /// simulator's round IO time (diagnostic for Fig.-13-style studies).
+  double deviation_from_expectation = 0.0;
+};
+
+/// `bin_of_vertex` is the realised placement over `bins` (indices align).
+/// `train_vertices` seeds the traced batches; the sampler must wrap the same
+/// scaled graph the placement was computed for.
+TraceSimReport simulate_epoch_traced(
+    const topology::Topology& topo, const topology::FlowGraph& fg,
+    const ddak::EpochWorkload& workload,
+    std::span<const ddak::Bin> bins,
+    const ddak::DataPlacementResult& placement,
+    const sampling::NeighborSampler& sampler,
+    std::span<const graph::VertexId> train_vertices,
+    const TraceSimOptions& options = {});
+
+}  // namespace moment::sim

@@ -1,0 +1,235 @@
+#include "topology/discovery.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace moment::topology {
+
+namespace {
+
+DeviceKind parse_device_kind(std::size_t line, const std::string& s) {
+  if (s == "root_complex") return DeviceKind::kRootComplex;
+  if (s == "pcie_switch") return DeviceKind::kPcieSwitch;
+  if (s == "cpu_memory") return DeviceKind::kCpuMemory;
+  if (s == "nic") return DeviceKind::kNic;
+  throw ParseError(line, "unknown device kind '" + s + "'");
+}
+
+const char* device_kind_token(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kRootComplex: return "root_complex";
+    case DeviceKind::kPcieSwitch: return "pcie_switch";
+    case DeviceKind::kCpuMemory: return "cpu_memory";
+    case DeviceKind::kNic: return "nic";
+    default: return nullptr;  // GPU/SSD never appear in a description
+  }
+}
+
+LinkKind parse_link_kind(std::size_t line, const std::string& s) {
+  if (s == "pcie") return LinkKind::kPcie;
+  if (s == "qpi") return LinkKind::kQpi;
+  if (s == "nvlink") return LinkKind::kNvlink;
+  if (s == "dram") return LinkKind::kDram;
+  if (s == "network") return LinkKind::kNetwork;
+  throw ParseError(line, "unknown link kind '" + s + "'");
+}
+
+const char* link_kind_token(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kPcie: return "pcie";
+    case LinkKind::kQpi: return "qpi";
+    case LinkKind::kNvlink: return "nvlink";
+    case LinkKind::kDram: return "dram";
+    case LinkKind::kNetwork: return "network";
+  }
+  return "pcie";
+}
+
+double parse_double(std::size_t line, const std::string& s,
+                    const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(line, std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+int parse_int(std::size_t line, const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(line, std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+MachineSpec parse_machine_spec(std::istream& in) {
+  MachineSpec spec;
+  spec.ssd_read_bw = util::gib_per_s(6.0);
+  spec.nvlink_bw = util::gib_per_s(50.0);
+  spec.hbm_bw = util::gib_per_s(1200.0);
+
+  std::string raw;
+  std::size_t lineno = 0;
+  int device_counts[6] = {};
+  bool saw_machine = false;
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank/comment
+
+    if (keyword == "machine") {
+      line >> spec.name;
+      if (spec.name.empty()) throw ParseError(lineno, "machine needs a name");
+      saw_machine = true;
+    } else if (keyword == "description") {
+      std::getline(line, spec.description);
+      if (!spec.description.empty() && spec.description.front() == ' ') {
+        spec.description.erase(0, 1);
+      }
+    } else if (keyword == "ssd_read_bw_gib" || keyword == "nvlink_bw_gib" ||
+               keyword == "hbm_bw_gib") {
+      std::string v;
+      line >> v;
+      const double gib = parse_double(lineno, v, keyword.c_str());
+      if (gib <= 0) throw ParseError(lineno, keyword + " must be > 0");
+      if (keyword == "ssd_read_bw_gib") spec.ssd_read_bw = util::gib_per_s(gib);
+      else if (keyword == "nvlink_bw_gib") spec.nvlink_bw = util::gib_per_s(gib);
+      else spec.hbm_bw = util::gib_per_s(gib);
+    } else if (keyword == "device") {
+      std::string name, kind;
+      line >> name >> kind;
+      if (name.empty() || kind.empty()) {
+        throw ParseError(lineno, "device needs <name> <kind>");
+      }
+      if (spec.skeleton.find(name)) {
+        throw ParseError(lineno, "duplicate device '" + name + "'");
+      }
+      const DeviceKind k = parse_device_kind(lineno, kind);
+      spec.skeleton.add_device(k, name,
+                               device_counts[static_cast<int>(k)]++);
+    } else if (keyword == "link") {
+      std::string a, b, kind, ab, ba, label;
+      line >> a >> b >> kind >> ab >> ba;
+      line >> label;  // optional
+      const auto da = spec.skeleton.find(a);
+      const auto db = spec.skeleton.find(b);
+      if (!da) throw ParseError(lineno, "unknown device '" + a + "'");
+      if (!db) throw ParseError(lineno, "unknown device '" + b + "'");
+      spec.skeleton.add_link(*da, *db, parse_link_kind(lineno, kind),
+                             util::gib_per_s(parse_double(lineno, ab, "bw")),
+                             util::gib_per_s(parse_double(lineno, ba, "bw")),
+                             label);
+    } else if (keyword == "slots") {
+      SlotGroup g;
+      std::string kinds, gen;
+      line >> g.name >> g.parent;
+      std::string units;
+      line >> units >> kinds;
+      line >> gen;  // optional "genN"
+      if (g.name.empty() || g.parent.empty() || kinds.empty()) {
+        throw ParseError(lineno, "slots needs <group> <parent> <units> <kinds>");
+      }
+      if (!spec.skeleton.find(g.parent)) {
+        throw ParseError(lineno, "unknown parent '" + g.parent + "'");
+      }
+      g.units = parse_int(lineno, units, "units");
+      if (g.units <= 0) throw ParseError(lineno, "units must be > 0");
+      g.allows_gpu = kinds.find("gpu") != std::string::npos;
+      g.allows_ssd = kinds.find("ssd") != std::string::npos;
+      if (!g.allows_gpu && !g.allows_ssd) {
+        throw ParseError(lineno, "slot kinds must mention gpu and/or ssd");
+      }
+      if (!gen.empty()) {
+        if (gen.rfind("gen", 0) != 0) {
+          throw ParseError(lineno, "expected genN, got '" + gen + "'");
+        }
+        g.pcie_gen = parse_int(lineno, gen.substr(3), "pcie gen");
+      }
+      spec.slot_groups.push_back(std::move(g));
+    } else if (keyword == "automorphism") {
+      std::vector<int> perm;
+      std::string tok;
+      while (line >> tok) perm.push_back(parse_int(lineno, tok, "index"));
+      if (perm.size() != spec.slot_groups.size()) {
+        throw ParseError(lineno,
+                         "automorphism length must equal slot group count (" +
+                             std::to_string(spec.slot_groups.size()) + ")");
+      }
+      std::vector<bool> seen(perm.size(), false);
+      for (int i : perm) {
+        if (i < 0 || static_cast<std::size_t>(i) >= perm.size() ||
+            seen[static_cast<std::size_t>(i)]) {
+          throw ParseError(lineno, "automorphism is not a permutation");
+        }
+        seen[static_cast<std::size_t>(i)] = true;
+      }
+      spec.automorphisms.push_back(std::move(perm));
+    } else {
+      throw ParseError(lineno, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!saw_machine) throw ParseError(lineno, "missing 'machine' statement");
+  if (spec.slot_groups.empty()) {
+    throw ParseError(lineno, "machine has no slot groups");
+  }
+  return spec;
+}
+
+MachineSpec parse_machine_spec_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_machine_spec(in);
+}
+
+std::string write_machine_spec(const MachineSpec& spec) {
+  std::ostringstream out;
+  out << "machine " << spec.name << "\n";
+  if (!spec.description.empty()) {
+    out << "description " << spec.description << "\n";
+  }
+  out << "ssd_read_bw_gib " << util::to_gib_per_s(spec.ssd_read_bw) << "\n";
+  out << "nvlink_bw_gib " << util::to_gib_per_s(spec.nvlink_bw) << "\n";
+  out << "hbm_bw_gib " << util::to_gib_per_s(spec.hbm_bw) << "\n";
+  for (const auto& d : spec.skeleton.devices()) {
+    const char* token = device_kind_token(d.kind);
+    if (token) out << "device " << d.name << ' ' << token << "\n";
+  }
+  for (const auto& l : spec.skeleton.links()) {
+    out << "link " << spec.skeleton.device(l.a).name << ' '
+        << spec.skeleton.device(l.b).name << ' ' << link_kind_token(l.kind)
+        << ' ' << util::to_gib_per_s(l.bw_ab) << ' '
+        << util::to_gib_per_s(l.bw_ba);
+    if (!l.label.empty()) out << ' ' << l.label;
+    out << "\n";
+  }
+  for (const auto& g : spec.slot_groups) {
+    out << "slots " << g.name << ' ' << g.parent << ' ' << g.units << ' ';
+    if (g.allows_gpu && g.allows_ssd) out << "gpu,ssd";
+    else if (g.allows_gpu) out << "gpu";
+    else out << "ssd";
+    out << " gen" << g.pcie_gen << "\n";
+  }
+  for (const auto& perm : spec.automorphisms) {
+    out << "automorphism";
+    for (int i : perm) out << ' ' << i;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace moment::topology

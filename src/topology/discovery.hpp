@@ -1,0 +1,51 @@
+#pragma once
+// Machine description language: a textual form of MachineSpec so users can
+// feed Moment the topology of their own server. The paper's automatic module
+// extracts this information from a live system with lspci/dmidecode; this
+// module is the offline equivalent — dump what discovery found, edit it, or
+// write one by hand for a machine being *designed* (the paper's customized-
+// server use case).
+//
+// Grammar (one statement per line; '#' starts a comment):
+//
+//   machine <name>
+//   description <free text>
+//   ssd_read_bw_gib <v>
+//   nvlink_bw_gib <v>
+//   hbm_bw_gib <v>
+//   device <name> root_complex|pcie_switch|cpu_memory|nic
+//   link <devA> <devB> pcie|qpi|nvlink|dram|network <gib_ab> <gib_ba> [label]
+//   slots <group> <parent> <units> gpu|ssd|gpu,ssd [gen<G>]
+//   automorphism <perm...>        # one slot-group index per group
+//
+// GPUs and SSDs are NOT part of the description — they are placed into slot
+// groups by a Placement, exactly as in the presets.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "topology/machine.hpp"
+
+namespace moment::topology {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a machine description. Throws ParseError on malformed input.
+MachineSpec parse_machine_spec(std::istream& in);
+MachineSpec parse_machine_spec_string(const std::string& text);
+
+/// Serialises a spec back to the description language (round-trips through
+/// parse_machine_spec up to formatting).
+std::string write_machine_spec(const MachineSpec& spec);
+
+}  // namespace moment::topology

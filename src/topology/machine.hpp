@@ -1,0 +1,91 @@
+#pragma once
+// Machine specifications: the fixed interconnect skeleton (root complexes,
+// PCIe switches, CPU memory, QPI) plus the PCIe slot groups that GPUs and
+// SSDs can be placed into. A `Placement` assigns device counts to slot
+// groups; `instantiate()` yields the concrete Topology the flow compiler and
+// the simulator consume.
+//
+// Presets reproduce the paper's two testbeds:
+//   Machine A — balanced: each socket's root complex hosts 4 direct NVMe
+//     slots and one PLX switch (Bus 9 / Bus 10) with GPU-capable slots.
+//   Machine B — cascaded: PLX1 hangs off PLX0 (Bus 16), PLX0 off RC0
+//     (Bus 11); both root complexes also expose direct slots.
+
+#include <string>
+#include <vector>
+
+#include "topology/device.hpp"
+
+namespace moment::topology {
+
+/// A group of interchangeable single-width slot units under one parent.
+/// A GPU occupies `kGpuUnits` units (dual-slot cards, paper Section 3.2), an
+/// SSD occupies one.
+struct SlotGroup {
+  std::string name;       // "RC0.nvme", "PLX0.slots", ...
+  std::string parent;     // skeleton device name
+  int units = 0;          // total single-width units
+  bool allows_gpu = false;
+  bool allows_ssd = false;
+  int pcie_gen = 4;
+  int gpu_lanes = 16;
+  int ssd_lanes = 4;
+};
+
+inline constexpr int kGpuUnits = 2;
+inline constexpr int kSsdUnits = 1;
+
+struct MachineSpec {
+  std::string name;
+  std::string description;
+  Topology skeleton;  // RCs, PLXs, CpuMemory devices and their links
+  std::vector<SlotGroup> slot_groups;
+  /// Automorphisms of the slot groups (each entry is a permutation of group
+  /// indices under which the machine is physically identical). Identity is
+  /// implicit. Used for the paper's isomorphic placement reduction.
+  std::vector<std::vector<int>> automorphisms;
+  double ssd_read_bw = 0.0;   // device-limited SSD read rate (bytes/s)
+  double nvlink_bw = 0.0;     // per-direction NVLink bridge rate (bytes/s)
+  double hbm_bw = 0.0;        // GPU local HBM rate (bytes/s)
+
+  int group_index(const std::string& group_name) const;
+};
+
+/// Device counts per slot group. GPUs and SSDs of the same kind are
+/// interchangeable, so a placement is fully described by counts.
+struct Placement {
+  std::vector<int> gpus_per_group;
+  std::vector<int> ssds_per_group;
+  bool nvlink = false;  // bridge consecutive GPU pairs (0,1), (2,3)
+  std::string label;
+
+  int total_gpus() const noexcept;
+  int total_ssds() const noexcept;
+  bool operator==(const Placement& other) const noexcept {
+    return gpus_per_group == other.gpus_per_group &&
+           ssds_per_group == other.ssds_per_group && nvlink == other.nvlink;
+  }
+};
+
+/// Validates slot-unit budgets and device-kind constraints.
+/// Returns empty string if valid, else a human-readable reason.
+std::string validate_placement(const MachineSpec& spec, const Placement& p);
+
+/// Builds the concrete topology: skeleton + GPU/SSD devices attached to their
+/// groups' parents. Throws std::invalid_argument on invalid placements.
+Topology instantiate(const MachineSpec& spec, const Placement& p);
+
+/// Paper Table 1/3 presets.
+MachineSpec make_machine_a();
+MachineSpec make_machine_b();
+
+/// The four "classic" layouts of Figs. 1-2 for a machine, given GPU/SSD
+/// counts. `which` is 'a'..'d'.
+Placement classic_placement(const MachineSpec& spec, char which, int num_gpus,
+                            int num_ssds);
+
+/// The hand-written Moment placement of Fig. 7 (Machine B, 4 GPUs, 8 SSDs),
+/// used as a regression anchor for the placement search.
+Placement moment_placement_machine_b();
+
+}  // namespace moment::topology

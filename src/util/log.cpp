@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace moment::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("MOMENT_LOG")) {
+    if (std::strcmp(env, "debug") == 0) level_ = LogLevel::kDebug;
+    else if (std::strcmp(env, "info") == 0) level_ = LogLevel::kInfo;
+    else if (std::strcmp(env, "warn") == 0) level_ = LogLevel::kWarn;
+    else if (std::strcmp(env, "error") == 0) level_ = LogLevel::kError;
+    else if (std::strcmp(env, "off") == 0) level_ = LogLevel::kOff;
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[moment:%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void log_debug(std::string_view msg) { Logger::instance().log(LogLevel::kDebug, msg); }
+void log_info(std::string_view msg) { Logger::instance().log(LogLevel::kInfo, msg); }
+void log_warn(std::string_view msg) { Logger::instance().log(LogLevel::kWarn, msg); }
+void log_error(std::string_view msg) { Logger::instance().log(LogLevel::kError, msg); }
+
+}  // namespace moment::util

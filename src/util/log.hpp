@@ -1,0 +1,34 @@
+#pragma once
+// Minimal leveled logger. Thread-safe, writes to stderr; level settable at
+// runtime (MOMENT_LOG env var or set_level) so benches can silence internals.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace moment::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  void log(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+void log_debug(std::string_view msg);
+void log_info(std::string_view msg);
+void log_warn(std::string_view msg);
+void log_error(std::string_view msg);
+
+}  // namespace moment::util

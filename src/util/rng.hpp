@@ -1,0 +1,124 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// All randomness in Moment flows through these generators so that every test
+// and benchmark is bit-reproducible given its seed. We provide SplitMix64 for
+// seeding/hashing and Pcg32 as the workhorse generator, plus helpers for the
+// distributions the system needs (uniform ints/reals, Zipf for skewed vertex
+// popularity).
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace moment::util {
+
+/// SplitMix64: tiny, statistically solid 64-bit mixer. Used to derive stream
+/// seeds and as a hash for canonical signatures.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mix two 64-bit values into one (for hashing composite keys).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  return sm.next();
+}
+
+/// PCG32 (O'Neill): small-state generator with good statistical quality.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> if needed.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  result_type next() noexcept {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint32_t next_below(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1) with full 53-bit mantissa resolution.
+  double next_double() noexcept {
+    const std::uint64_t hi = next() >> 6;  // 26 bits
+    const std::uint64_t lo = next() >> 5;  // 27 bits
+    return static_cast<double>((hi << 27) | lo) *
+           (1.0 / 9007199254740992.0);  // 2^-53
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} using precomputed inverse CDF buckets.
+/// Vertex access hotness in large graphs is approximately Zipfian; DDAK's whole
+/// premise is this skew, so the sampler must be exact rather than approximate.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Pcg32& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+  /// Probability mass of rank k (0-indexed).
+  double pmf(std::size_t k) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  double exponent_ = 1.0;
+};
+
+}  // namespace moment::util

@@ -1,0 +1,70 @@
+#pragma once
+// Small statistics helpers shared by the profiler, simulator and benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace moment::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes mean/stddev/min/max/percentiles. Empty input yields zero summary.
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile of a *sorted* vector, q in [0,1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Gini coefficient of a non-negative weight vector; 0 = perfectly uniform,
+/// -> 1 = maximally skewed. Used to characterise vertex-hotness skew.
+double gini(std::span<const double> weights);
+
+/// Coefficient of variation (stddev/mean); the load-imbalance metric used for
+/// per-GPU traffic in the evaluation. Returns 0 for mean==0.
+double coefficient_of_variation(std::span<const double> values);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  const std::vector<std::size_t>& bins() const noexcept { return counts_; }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace moment::util

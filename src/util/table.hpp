@@ -1,0 +1,37 @@
+#pragma once
+// ASCII table printer used by the benchmark harness to emit the rows/series
+// of each paper table/figure in a stable, diffable format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moment::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing. `indent` prefixes every line.
+  std::string to_string(int indent = 0) const;
+  void print(std::ostream& os, int indent = 0) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+  /// Formats bytes as human-readable (KiB/MiB/GiB).
+  static std::string bytes(double b);
+  /// Formats a ratio as "1.23x".
+  static std::string speedup(double v);
+  /// Formats a fraction as "12.3%".
+  static std::string percent(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moment::util

@@ -1,0 +1,65 @@
+#pragma once
+// Fixed-size thread pool used by the IO stack (SSD backends) and the parallel
+// sections of the simulator. Tasks are type-erased std::function<void()>;
+// submit() returns a std::future for result plumbing.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace moment::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>=1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result. Throws std::runtime_error
+  /// if the pool is shutting down.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and all in-flight tasks are done.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace moment::util

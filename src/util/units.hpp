@@ -1,0 +1,22 @@
+#pragma once
+// Bandwidth/size unit constants. Everything in the optimizer and simulator is
+// expressed in bytes and seconds; these constants keep literals readable.
+
+#include <cstdint>
+
+namespace moment::util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+/// GiB/s to bytes-per-second.
+constexpr double gib_per_s(double v) noexcept { return v * kGiB; }
+
+/// Bytes-per-second to GiB/s.
+constexpr double to_gib_per_s(double bytes_per_s) noexcept {
+  return bytes_per_s / kGiB;
+}
+
+}  // namespace moment::util

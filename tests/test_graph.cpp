@@ -1,0 +1,199 @@
+// Unit tests for the graph substrate: CSR construction, persistence,
+// generators (skew properties), and the Table-2 dataset presets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace moment::graph {
+namespace {
+
+EdgeList small_edges() {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.edges = {{0, 1}, {0, 2}, {1, 2}, {3, 0}, {3, 4}};
+  return el;
+}
+
+TEST(CsrGraph, BuildsDirected) {
+  const CsrGraph g = CsrGraph::from_edges(small_edges(), false);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 2u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrGraph, BuildsUndirected) {
+  const CsrGraph g = CsrGraph::from_edges(small_edges(), true);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.degree(2), 2u);  // reverse edges from 0 and 1
+  EXPECT_EQ(g.degree(0), 3u);  // 1, 2 out plus reverse of (3,0)
+}
+
+TEST(CsrGraph, RejectsOutOfRangeVertex) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {{0, 5}};
+  EXPECT_THROW(CsrGraph::from_edges(el, false), std::out_of_range);
+}
+
+TEST(CsrGraph, DegreeSumEqualsEdges) {
+  const CsrGraph g = CsrGraph::from_edges(small_edges(), true);
+  EdgeIndex total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total += g.degree(v);
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(CsrGraph, SaveLoadRoundtrip) {
+  const CsrGraph g = CsrGraph::from_edges(small_edges(), true);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "moment_csr_test.bin").string();
+  g.save(path);
+  const CsrGraph loaded = CsrGraph::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()));
+  }
+}
+
+TEST(CsrGraph, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "moment_bad.bin").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a graph", f);
+  std::fclose(f);
+  EXPECT_THROW(CsrGraph::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CsrGraph, TopologyBytesCountsArrays) {
+  const CsrGraph g = CsrGraph::from_edges(small_edges(), false);
+  EXPECT_EQ(g.topology_bytes(),
+            6 * sizeof(EdgeIndex) + 5 * sizeof(VertexId));
+}
+
+TEST(Generators, RmatDeterministic) {
+  RmatParams p;
+  p.num_vertices = 1 << 10;
+  p.num_edges = 5000;
+  const CsrGraph a = generate_rmat(p);
+  const CsrGraph b = generate_rmat(p);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); v += 17) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(na.begin(), na.end()),
+              std::vector<VertexId>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(Generators, RmatSeedChangesGraph) {
+  RmatParams p;
+  p.num_vertices = 1 << 10;
+  p.num_edges = 5000;
+  const CsrGraph a = generate_rmat(p);
+  p.seed = 777;
+  const CsrGraph b = generate_rmat(p);
+  bool differs = false;
+  for (VertexId v = 0; v < a.num_vertices() && !differs; ++v) {
+    differs = a.degree(v) != b.degree(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, RmatIsSkewedErIsNot) {
+  RmatParams rp;
+  rp.num_vertices = 1 << 12;
+  rp.num_edges = 40000;
+  const DegreeStats rmat = degree_stats(generate_rmat(rp));
+
+  ErdosRenyiParams ep;
+  ep.num_vertices = 1 << 12;
+  ep.num_edges = 40000;
+  const DegreeStats er = degree_stats(generate_erdos_renyi(ep));
+
+  EXPECT_GT(rmat.gini, er.gini + 0.2);
+  EXPECT_GT(rmat.top1pct_share, er.top1pct_share * 2.0);
+}
+
+TEST(Generators, RmatEdgeCountExact) {
+  RmatParams p;
+  p.num_vertices = 512;
+  p.num_edges = 1000;
+  p.undirected = false;
+  EXPECT_EQ(generate_rmat(p).num_edges(), 1000u);
+  p.undirected = true;
+  EXPECT_EQ(generate_rmat(p).num_edges(), 2000u);
+}
+
+TEST(Generators, RmatRejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.6;
+  p.b = 0.3;
+  p.c = 0.3;  // a+b+c > 1
+  EXPECT_THROW(generate_rmat(p), std::invalid_argument);
+}
+
+TEST(Generators, PowerLawSkewTracksExponent) {
+  PowerLawParams p;
+  p.num_vertices = 1 << 12;
+  p.avg_degree = 20.0;
+  p.exponent = 0.6;
+  const DegreeStats mild = degree_stats(generate_power_law(p));
+  p.exponent = 1.4;
+  const DegreeStats strong = degree_stats(generate_power_law(p));
+  EXPECT_GT(strong.gini, mild.gini);
+}
+
+TEST(Datasets, PresetsMatchPaperShape) {
+  for (DatasetId id : kAllDatasets) {
+    const Dataset ds = make_dataset(id, /*scale_shift=*/4);
+    EXPECT_GT(ds.paper.vertices, 100'000'000ull) << ds.name;
+    EXPECT_EQ(ds.paper.feature_dim, 1024u);
+    EXPECT_EQ(ds.scaled.vertices, ds.csr.num_vertices());
+    EXPECT_GT(ds.upscale(), 1000.0) << ds.name;
+    EXPECT_GT(ds.num_train_vertices_scaled(), 0u);
+  }
+}
+
+TEST(Datasets, OrderingMatchesTable2) {
+  // CL has the most vertices; PA the fewest. UK has the most edges.
+  const auto pa = make_dataset(DatasetId::kPA, 4);
+  const auto cl = make_dataset(DatasetId::kCL, 4);
+  const auto uk = make_dataset(DatasetId::kUK, 4);
+  EXPECT_LT(pa.paper.vertices, cl.paper.vertices);
+  EXPECT_GT(uk.paper.edges, pa.paper.edges);
+  EXPECT_GT(cl.paper.feature_bytes, uk.paper.feature_bytes);
+}
+
+TEST(Datasets, ScaleShiftShrinks) {
+  const auto big = make_dataset(DatasetId::kPA, 2);
+  const auto small = make_dataset(DatasetId::kPA, 4);
+  EXPECT_GT(big.scaled.vertices, small.scaled.vertices);
+  EXPECT_THROW(make_dataset(DatasetId::kPA, -1), std::invalid_argument);
+}
+
+TEST(Datasets, ScaledGraphKeepsSkew) {
+  const auto ds = make_dataset(DatasetId::kIG, 3);
+  const DegreeStats s = degree_stats(ds.csr);
+  EXPECT_GT(s.gini, 0.4) << "RMAT preset lost its skew";
+  EXPECT_GT(s.top1pct_share, 0.10);
+}
+
+}  // namespace
+}  // namespace moment::graph

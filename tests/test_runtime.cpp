@@ -1,0 +1,225 @@
+// Tests for the runtime systems (Moment vs baselines, OOM rules, cost
+// model) and the functional data-parallel trainer (DDP invariants).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/synthetic.hpp"
+#include "graph/generators.hpp"
+#include "runtime/parallel_trainer.hpp"
+#include "runtime/systems.hpp"
+
+namespace moment::runtime {
+namespace {
+
+ExperimentConfig base_config(const topology::MachineSpec* spec) {
+  ExperimentConfig c;
+  c.machine = spec;
+  c.dataset = graph::DatasetId::kIG;
+  c.dataset_scale_shift = 3;
+  c.num_gpus = 4;
+  c.num_ssds = 8;
+  return c;
+}
+
+TEST(Systems, NamesAndCosts) {
+  EXPECT_STREQ(system_name(SystemKind::kMoment), "Moment");
+  EXPECT_STREQ(system_name(SystemKind::kDistDgl), "DistDGL");
+  // Paper Section 4.2: the single machine is about half the cluster's TCO.
+  EXPECT_NEAR(machine_tco_usd() / cluster_tco_usd(), 0.5, 0.05);
+}
+
+TEST(Systems, MomentBeatsBaselinesOnMachineB) {
+  const auto spec = topology::make_machine_b();
+  const Workbench bench = Workbench::make(graph::DatasetId::kIG, 3, 42);
+  ExperimentConfig c = base_config(&spec);
+  const auto moment = run_system(SystemKind::kMoment, c, bench);
+  const auto hyperion = run_system(SystemKind::kMHyperion, c, bench);
+  const auto gids = run_system(SystemKind::kMGids, c, bench);
+  ASSERT_FALSE(moment.oom);
+  ASSERT_FALSE(hyperion.oom);
+  ASSERT_FALSE(gids.oom);
+  EXPECT_LT(moment.epoch_time_s, hyperion.epoch_time_s);
+  EXPECT_LT(moment.epoch_time_s, gids.epoch_time_s);
+  EXPECT_GT(moment.throughput_seeds_per_s, hyperion.throughput_seeds_per_s);
+}
+
+TEST(Systems, MomentOutperformsDistDglOnPA) {
+  const auto spec = topology::make_machine_a();
+  ExperimentConfig c = base_config(&spec);
+  c.dataset = graph::DatasetId::kPA;
+  const Workbench bench = Workbench::make(graph::DatasetId::kPA, 3, 42);
+  const auto moment = run_system(SystemKind::kMoment, c, bench);
+  const auto distdgl = run_system(SystemKind::kDistDgl, c, bench);
+  ASSERT_FALSE(moment.oom);
+  ASSERT_FALSE(distdgl.oom) << distdgl.oom_reason;
+  // Paper: up to 3.02x on the datasets DistDGL can run, at ~half the cost.
+  const double speedup =
+      moment.throughput_seeds_per_s / distdgl.throughput_seeds_per_s;
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 8.0);
+  EXPECT_LT(moment.monetary_cost_usd, distdgl.monetary_cost_usd);
+}
+
+TEST(Systems, DistDglOomsOnLargeDatasets) {
+  ExperimentConfig c;
+  for (auto id : {graph::DatasetId::kIG, graph::DatasetId::kUK,
+                  graph::DatasetId::kCL}) {
+    c.dataset = id;
+    const Workbench bench = Workbench::make(id, 4, 1);
+    const auto r = run_system(SystemKind::kDistDgl, c, bench);
+    EXPECT_TRUE(r.oom) << graph::dataset_name(id);
+    EXPECT_FALSE(r.oom_reason.empty());
+  }
+}
+
+TEST(Systems, MGidsOomsOnTerabyteFeatures) {
+  const auto spec = topology::make_machine_a();
+  ExperimentConfig c = base_config(&spec);
+  for (auto id : {graph::DatasetId::kUK, graph::DatasetId::kCL}) {
+    c.dataset = id;
+    const Workbench bench = Workbench::make(id, 4, 1);
+    EXPECT_TRUE(run_system(SystemKind::kMGids, c, bench).oom)
+        << graph::dataset_name(id);
+  }
+  c.dataset = graph::DatasetId::kPA;
+  const Workbench bench = Workbench::make(graph::DatasetId::kPA, 4, 1);
+  EXPECT_FALSE(run_system(SystemKind::kMGids, c, bench).oom);
+}
+
+TEST(Systems, MomentRunsTerabyteDatasetsOutOfCore) {
+  const auto spec = topology::make_machine_b();
+  ExperimentConfig c = base_config(&spec);
+  c.dataset = graph::DatasetId::kUK;
+  c.dataset_scale_shift = 4;
+  const Workbench bench = Workbench::make(graph::DatasetId::kUK, 4, 1);
+  const auto r = run_system(SystemKind::kMoment, c, bench);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(r.throughput_seeds_per_s, 0.0);
+}
+
+TEST(Systems, PlacementOverrideRespected) {
+  const auto spec = topology::make_machine_b();
+  ExperimentConfig c = base_config(&spec);
+  c.placement = topology::moment_placement_machine_b();
+  const Workbench bench = Workbench::make(graph::DatasetId::kIG, 4, 1);
+  const auto r = run_system(SystemKind::kMoment, c, bench);
+  EXPECT_EQ(r.placement.gpus_per_group,
+            topology::moment_placement_machine_b().gpus_per_group);
+}
+
+TEST(Systems, GatSlowerThanGraphSage) {
+  const auto spec = topology::make_machine_a();
+  const Workbench bench = Workbench::make(graph::DatasetId::kPA, 4, 1);
+  ExperimentConfig c = base_config(&spec);
+  c.dataset = graph::DatasetId::kPA;
+  c.model = gnn::ModelKind::kGraphSage;
+  const auto sage = run_system(SystemKind::kMoment, c, bench);
+  c.model = gnn::ModelKind::kGat;
+  const auto gat = run_system(SystemKind::kMoment, c, bench);
+  EXPECT_LE(sage.epoch_time_s, gat.epoch_time_s);
+}
+
+TEST(Systems, PredictionAccompaniesMeasurement) {
+  // Fig. 13's inputs: both a predicted and a simulated epoch time, close for
+  // Moment (the prediction is the plan the runtime executes).
+  const auto spec = topology::make_machine_a();
+  const Workbench bench = Workbench::make(graph::DatasetId::kIG, 3, 42);
+  ExperimentConfig c = base_config(&spec);
+  const auto r = run_system(SystemKind::kMoment, c, bench);
+  ASSERT_TRUE(r.prediction.feasible);
+  EXPECT_GT(r.predicted_epoch_time_s, 0.0);
+  const double err = std::abs(r.predicted_epoch_time_s - r.epoch_time_s) /
+                     r.epoch_time_s;
+  EXPECT_LT(err, 0.25) << "predicted " << r.predicted_epoch_time_s
+                       << " vs measured " << r.epoch_time_s;
+}
+
+TEST(Systems, DeterministicAcrossRuns) {
+  const auto spec = topology::make_machine_b();
+  const Workbench bench = Workbench::make(graph::DatasetId::kIG, 4, 7);
+  ExperimentConfig c = base_config(&spec);
+  const auto a = run_system(SystemKind::kMoment, c, bench);
+  const auto b = run_system(SystemKind::kMoment, c, bench);
+  EXPECT_DOUBLE_EQ(a.epoch_time_s, b.epoch_time_s);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+struct TrainerRig {
+  graph::CsrGraph g;
+  gnn::SyntheticTask task;
+  std::vector<std::unique_ptr<gnn::InMemoryFeatures>> features;
+  std::vector<gnn::FeatureProvider*> providers;
+
+  static TrainerRig make(int workers) {
+    TrainerRig r;
+    graph::RmatParams gp;
+    gp.num_vertices = 1024;
+    gp.num_edges = 8000;
+    r.g = graph::generate_rmat(gp);
+    r.task = gnn::make_synthetic_task(r.g, 4, 12, 0.3, 9);
+    for (int w = 0; w < workers; ++w) {
+      r.features.push_back(
+          std::make_unique<gnn::InMemoryFeatures>(r.task.features));
+      r.providers.push_back(r.features.back().get());
+    }
+    return r;
+  }
+
+  gnn::ModelConfig model_config() const {
+    gnn::ModelConfig cfg;
+    cfg.kind = gnn::ModelKind::kGraphSage;
+    cfg.in_dim = 12;
+    cfg.hidden_dim = 16;
+    cfg.num_classes = 4;
+    return cfg;
+  }
+};
+
+TEST(ParallelTrainer, ReplicasStayInSync) {
+  TrainerRig rig = TrainerRig::make(3);
+  auto train = sampling::select_train_vertices(rig.g, 0.2, 2);
+  DataParallelTrainer trainer(rig.g, rig.providers, rig.model_config(),
+                              {5, 5}, train, 0.01f, 11);
+  EXPECT_TRUE(trainer.replicas_in_sync());
+  trainer.train_epoch(rig.task.labels, 32, 4);
+  EXPECT_TRUE(trainer.replicas_in_sync());
+}
+
+TEST(ParallelTrainer, LearnsSyntheticTask) {
+  TrainerRig rig = TrainerRig::make(2);
+  auto train = sampling::select_train_vertices(rig.g, 0.3, 3);
+  DataParallelTrainer trainer(rig.g, rig.providers, rig.model_config(),
+                              {5, 5}, train, 0.01f, 13);
+  EpochStats last;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    last = trainer.train_epoch(rig.task.labels, 48);
+  }
+  EXPECT_GT(last.mean_accuracy, 0.6f);
+  EXPECT_GT(last.batches, 0u);
+  EXPECT_GT(last.fetched_vertices, 0u);
+}
+
+TEST(ParallelTrainer, BatchCountMatchesPartition) {
+  TrainerRig rig = TrainerRig::make(4);
+  auto train = sampling::select_train_vertices(rig.g, 0.25, 5);
+  DataParallelTrainer trainer(rig.g, rig.providers, rig.model_config(),
+                              {4, 4}, train, 0.01f, 17);
+  const auto stats = trainer.train_epoch(rig.task.labels, 16);
+  // Every training vertex visited once per epoch across workers.
+  const std::size_t expected = (train.size() + 15) / 16;
+  EXPECT_NEAR(static_cast<double>(stats.batches),
+              static_cast<double>(expected), 4.0);
+}
+
+TEST(ParallelTrainer, RejectsEmptyWorkerList) {
+  TrainerRig rig = TrainerRig::make(1);
+  auto train = sampling::select_train_vertices(rig.g, 0.1, 5);
+  EXPECT_THROW(DataParallelTrainer(rig.g, {}, rig.model_config(), {4, 4},
+                                   train, 0.01f, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace moment::runtime

@@ -1,0 +1,255 @@
+// Tests for the topology module: device/link model, machine presets, slot
+// validation, the Fig.-9 flow-graph compiler, and the predictor.
+
+#include <gtest/gtest.h>
+
+#include "topology/device.hpp"
+#include "topology/flow_graph.hpp"
+#include "topology/machine.hpp"
+#include "topology/predictor.hpp"
+#include "util/units.hpp"
+
+namespace moment::topology {
+namespace {
+
+using util::gib_per_s;
+using util::to_gib_per_s;
+
+TEST(PcieBandwidth, MatchesProfiledRates) {
+  EXPECT_NEAR(to_gib_per_s(pcie_bandwidth(4, 16)), 20.0, 0.01);
+  EXPECT_NEAR(to_gib_per_s(pcie_bandwidth(4, 4)), 6.5, 0.01);
+  EXPECT_GT(pcie_bandwidth(5, 16), pcie_bandwidth(4, 16));
+  EXPECT_LT(pcie_bandwidth(3, 16), pcie_bandwidth(4, 16));
+  EXPECT_LT(pcie_bandwidth(4, 1), pcie_bandwidth(4, 4));
+}
+
+TEST(Topology, DeviceAndLinkBookkeeping) {
+  Topology t;
+  const DeviceId rc = t.add_device(DeviceKind::kRootComplex, "RC0", 0);
+  const DeviceId gpu = t.add_device(DeviceKind::kGpu, "GPU0", 0);
+  const LinkId l = t.add_link(rc, gpu, LinkKind::kPcie, 100, 50, "slot");
+  EXPECT_EQ(t.num_devices(), 2u);
+  EXPECT_EQ(t.num_links(), 1u);
+  EXPECT_EQ(t.link(l).bw_ab, 100);
+  EXPECT_EQ(t.incident(rc).size(), 1u);
+  EXPECT_EQ(t.find("GPU0"), gpu);
+  EXPECT_FALSE(t.find("nope").has_value());
+  EXPECT_EQ(t.find_link(gpu, rc), l);  // either orientation
+  EXPECT_EQ(t.devices_of_kind(DeviceKind::kGpu),
+            std::vector<DeviceId>{gpu});
+  EXPECT_NE(t.to_string().find("GPU0"), std::string::npos);
+}
+
+TEST(MachineSpecs, PresetsAreWellFormed) {
+  for (const MachineSpec& spec : {make_machine_a(), make_machine_b()}) {
+    EXPECT_GE(spec.slot_groups.size(), 4u) << spec.name;
+    EXPECT_GT(spec.ssd_read_bw, 0.0);
+    EXPECT_EQ(spec.skeleton.devices_of_kind(DeviceKind::kRootComplex).size(),
+              2u);
+    EXPECT_EQ(spec.skeleton.devices_of_kind(DeviceKind::kCpuMemory).size(),
+              2u);
+    EXPECT_EQ(spec.skeleton.devices_of_kind(DeviceKind::kPcieSwitch).size(),
+              2u);
+    for (const auto& g : spec.slot_groups) {
+      EXPECT_TRUE(spec.skeleton.find(g.parent).has_value())
+          << spec.name << " group " << g.name;
+    }
+  }
+}
+
+TEST(MachineSpecs, MachineAHasSocketSymmetry) {
+  EXPECT_FALSE(make_machine_a().automorphisms.empty());
+  EXPECT_TRUE(make_machine_b().automorphisms.empty());
+}
+
+TEST(PlacementValidation, CatchesOverflow) {
+  const MachineSpec spec = make_machine_a();
+  Placement p;
+  p.gpus_per_group = {0, 0, 7, 0};  // 7 GPUs = 14 units > 12
+  p.ssds_per_group = {0, 0, 0, 0};
+  EXPECT_NE(validate_placement(spec, p), "");
+  EXPECT_THROW(instantiate(spec, p), std::invalid_argument);
+}
+
+TEST(PlacementValidation, CatchesKindMismatch) {
+  const MachineSpec spec = make_machine_a();
+  Placement p;
+  p.gpus_per_group = {1, 0, 0, 0};  // RC0.nvme does not take GPUs
+  p.ssds_per_group = {0, 0, 0, 0};
+  EXPECT_NE(validate_placement(spec, p), "");
+}
+
+TEST(PlacementValidation, ClassicPlacementsValid) {
+  for (const MachineSpec& spec : {make_machine_a(), make_machine_b()}) {
+    for (char which : {'a', 'b', 'c', 'd'}) {
+      for (int gpus : {1, 2, 4}) {
+        const Placement p = classic_placement(spec, which, gpus, 8);
+        EXPECT_EQ(validate_placement(spec, p), "")
+            << spec.name << " " << which << " g=" << gpus;
+        EXPECT_EQ(p.total_gpus(), gpus);
+        EXPECT_EQ(p.total_ssds(), 8);
+      }
+    }
+  }
+  EXPECT_THROW(classic_placement(make_machine_a(), 'z', 4, 8),
+               std::invalid_argument);
+}
+
+TEST(PlacementValidation, MomentFig7PlacementValid) {
+  const MachineSpec spec = make_machine_b();
+  const Placement p = moment_placement_machine_b();
+  EXPECT_EQ(validate_placement(spec, p), "");
+  EXPECT_EQ(p.total_gpus(), 4);
+  EXPECT_EQ(p.total_ssds(), 8);
+}
+
+TEST(Instantiate, AddsDevicesAndLinks) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 4, 8);
+  const Topology topo = instantiate(spec, p);
+  EXPECT_EQ(topo.devices_of_kind(DeviceKind::kGpu).size(), 4u);
+  EXPECT_EQ(topo.devices_of_kind(DeviceKind::kSsd).size(), 8u);
+  for (DeviceId d : topo.devices_of_kind(DeviceKind::kGpu)) {
+    EXPECT_EQ(topo.incident(d).size(), 1u);
+  }
+}
+
+TEST(Instantiate, SsdRateCappedByDevice) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 2, 8);
+  const Topology topo = instantiate(spec, p);
+  for (DeviceId d : topo.devices_of_kind(DeviceKind::kSsd)) {
+    const auto& l = topo.link(topo.incident(d).front());
+    EXPECT_NEAR(to_gib_per_s(l.bw_ab), 6.0, 0.01);  // P5510 < x4 slot rate
+  }
+}
+
+TEST(Instantiate, NvlinkPairsConsecutiveGpus) {
+  const MachineSpec spec = make_machine_a();
+  Placement p = classic_placement(spec, 'c', 4, 8);
+  p.nvlink = true;
+  const Topology topo = instantiate(spec, p);
+  int nvlinks = 0;
+  for (const auto& l : topo.links()) {
+    if (l.kind == LinkKind::kNvlink) ++nvlinks;
+  }
+  EXPECT_EQ(nvlinks, 2);  // (0,1) and (2,3)
+}
+
+TEST(FlowGraph, StructureMatchesFig9) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 4, 8);
+  const Topology topo = instantiate(spec, p);
+  const FlowGraph fg = compile_flow_graph(topo);
+  // Storage nodes: 8 SSDs + 2 DRAMs + 4 GPU HBMs, in tier order.
+  ASSERT_EQ(fg.storage.size(), 14u);
+  EXPECT_EQ(fg.gpus.size(), 4u);
+  EXPECT_EQ(fg.storage[0].tier, StorageTier::kSsd);
+  EXPECT_EQ(fg.storage[8].tier, StorageTier::kCpuDram);
+  EXPECT_EQ(fg.storage[10].tier, StorageTier::kGpuHbm);
+  for (const auto& s : fg.storage) EXPECT_GE(s.supply_edge, 0);
+  for (const auto& g : fg.gpus) EXPECT_GE(g.demand_edge, 0);
+  for (int tier = 0; tier < 3; ++tier) EXPECT_GE(fg.tier_edge[tier], 0);
+  EXPECT_EQ(fg.link_edges.size(), topo.num_links());
+}
+
+TEST(FlowGraph, GpuCacheToggle) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 2, 4);
+  const Topology topo = instantiate(spec, p);
+  FlowGraphOptions opts;
+  opts.gpu_cache = false;
+  const FlowGraph fg = compile_flow_graph(topo, opts);
+  for (const auto& s : fg.storage) {
+    EXPECT_NE(s.tier, StorageTier::kGpuHbm);
+  }
+  EXPECT_LT(fg.tier_edge[static_cast<int>(StorageTier::kGpuHbm)], 0);
+}
+
+TEST(FlowGraph, SupplyMirrorsOutRate) {
+  // Paper: c(s, v_s) = c(v_s, v_i). An SSD's supply edge equals its read bw.
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 2, 8);
+  const Topology topo = instantiate(spec, p);
+  const FlowGraph fg = compile_flow_graph(topo);
+  for (const auto& s : fg.storage) {
+    if (s.tier != StorageTier::kSsd) continue;
+    EXPECT_NEAR(fg.net.original_capacity(s.supply_edge), gib_per_s(6.0), 1.0);
+  }
+}
+
+TEST(Predictor, RateBoundCappedWithoutCache) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'c', 4, 8);
+  const Topology topo = instantiate(spec, p);
+  FlowGraphOptions opts;
+  opts.gpu_cache = false;
+  const FlowGraph fg = compile_flow_graph(topo, opts);
+  const double bound = predict_rate_bound(fg);
+  EXPECT_LE(bound, 4.0 * pcie_bandwidth(4, 16) + 1.0);
+  EXPECT_GT(to_gib_per_s(bound), 40.0);  // SSD 48 GiB/s + DRAM headroom
+}
+
+TEST(Predictor, DemandModeDetectsContention) {
+  // Machine A placement (b): all 4 GPUs behind Bus 9; equal demands make the
+  // epoch IO time much worse than placement (c).
+  const MachineSpec spec = make_machine_a();
+  const Topology tb = instantiate(spec, classic_placement(spec, 'b', 4, 8));
+  const Topology tc = instantiate(spec, classic_placement(spec, 'c', 4, 8));
+  const FlowGraph fb = compile_flow_graph(tb);
+  const FlowGraph fc = compile_flow_graph(tc);
+  WorkloadDemand d;
+  d.per_gpu_bytes.assign(4, 100.0 * util::kGiB);
+  // Cap cache tiers so the HBM cannot absorb the whole demand.
+  d.per_tier_bytes = {40.0 * util::kGiB, 60.0 * util::kGiB, -1.0};
+  const Prediction pb = predict(fb, d);
+  const Prediction pc = predict(fc, d);
+  ASSERT_TRUE(pb.feasible && pc.feasible);
+  EXPECT_GT(pb.epoch_io_time_s, pc.epoch_io_time_s * 1.3);
+}
+
+TEST(Predictor, PerGpuBytesMatchDemand) {
+  const MachineSpec spec = make_machine_b();
+  const Topology topo = instantiate(spec, classic_placement(spec, 'c', 2, 4));
+  const FlowGraph fg = compile_flow_graph(topo);
+  WorkloadDemand d;
+  d.per_gpu_bytes = {10.0 * util::kGiB, 10.0 * util::kGiB};
+  const Prediction p = predict(fg, d);
+  ASSERT_TRUE(p.feasible);
+  ASSERT_EQ(p.per_gpu_bytes.size(), 2u);
+  for (double b : p.per_gpu_bytes) {
+    EXPECT_NEAR(b, 10.0 * util::kGiB, 0.02 * util::kGiB);
+  }
+}
+
+TEST(Predictor, InfeasibleWhenSupplyShort) {
+  const MachineSpec spec = make_machine_a();
+  const Topology topo = instantiate(spec, classic_placement(spec, 'c', 2, 4));
+  const FlowGraph fg = compile_flow_graph(topo);
+  WorkloadDemand d;
+  d.per_gpu_bytes.assign(2, 100.0);
+  d.per_tier_bytes = {10.0, 10.0, 10.0};  // 30 bytes total < 200 demanded
+  EXPECT_FALSE(predict(fg, d).feasible);
+}
+
+TEST(Predictor, LinkTrafficAccounted) {
+  const MachineSpec spec = make_machine_a();
+  const Placement p = classic_placement(spec, 'b', 4, 8);
+  const Topology topo = instantiate(spec, p);
+  const FlowGraph fg = compile_flow_graph(topo);
+  WorkloadDemand d;
+  d.per_gpu_bytes.assign(4, 50.0 * util::kGiB);
+  d.per_tier_bytes = {0.0, 0.0, -1.0};  // SSD-only traffic
+  const Prediction pred = predict(fg, d);
+  ASSERT_TRUE(pred.feasible);
+  // Bus 9 must carry the RC0-direct SSD bytes (placement b pins 4 SSDs
+  // there with every GPU behind PLX0).
+  double bus9 = 0.0;
+  for (const auto& lt : pred.link_traffic) {
+    if (topo.link(lt.link).label == "Bus9") bus9 += lt.bytes_ab + lt.bytes_ba;
+  }
+  EXPECT_GT(bus9, 50.0 * util::kGiB);
+}
+
+}  // namespace
+}  // namespace moment::topology

@@ -1,0 +1,239 @@
+// Unit tests for the util module: deterministic RNG, distributions,
+// statistics helpers, the thread pool and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace moment::util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, c.next());
+}
+
+TEST(SplitMix64, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(7, 9), hash_combine(7, 9));
+}
+
+TEST(Pcg32, Deterministic) {
+  Pcg32 a(123, 5), b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Pcg32, NextBelowRespectsBound) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Pcg32, NextBelowCoversRange) {
+  Pcg32 rng(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, NextDoubleUniform) {
+  Pcg32 rng(99);
+  double sum = 0.0;
+  double mn = 1.0, mx = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(mn, 0.01);  // the old broken generator never exceeded 0.016
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Pcg32, NextDoubleRange) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double d = rng.next_double(3.0, 7.0);
+    EXPECT_GE(d, 3.0);
+    EXPECT_LT(d, 7.0);
+  }
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.pmf(100), 0.0);
+}
+
+TEST(ZipfSampler, RankZeroMostLikely) {
+  ZipfSampler zipf(1000, 1.2);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(50, 1.0);
+  Pcg32 rng(3);
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k : {0u, 1u, 5u}) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, zipf.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const double vals[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(vals);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double vals[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(vals, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(vals, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(vals, 1.0), 10.0);
+}
+
+TEST(Stats, GiniUniformIsZero) {
+  const double vals[] = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(gini(vals), 0.0, 1e-9);
+}
+
+TEST(Stats, GiniSkewedIsLarge) {
+  std::vector<double> vals(100, 0.0);
+  vals[0] = 100.0;
+  EXPECT_GT(gini(vals), 0.95);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const double uniform[] = {5.0, 5.0, 5.0};
+  EXPECT_NEAR(coefficient_of_variation(uniform), 0.0, 1e-12);
+  const double spread[] = {1.0, 9.0};
+  EXPECT_GT(coefficient_of_variation(spread), 0.5);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  RunningStat rs;
+  const double vals[] = {1.5, -2.0, 7.25, 0.0, 3.5};
+  for (double v : vals) rs.add(v);
+  const Summary s = summarize(vals);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+  EXPECT_EQ(rs.min(), -2.0);
+  EXPECT_EQ(rs.max(), 7.25);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps low
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps high
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&counter, i] {
+      ++counter;
+      return i * 2;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futs[i].get(), i * 2);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(Table, FormatsAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::speedup(1.5), "1.50x");
+  EXPECT_EQ(Table::percent(0.306), "30.6%");
+  EXPECT_EQ(Table::bytes(2048), "2.00 KiB");
+  EXPECT_EQ(Table::bytes(3.5 * 1024 * 1024 * 1024), "3.50 GiB");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(gib_per_s(1.0), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(to_gib_per_s(gib_per_s(17.5)), 17.5);
+}
+
+}  // namespace
+}  // namespace moment::util
