@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_iops.cpp" "bench/CMakeFiles/bench_ablation_iops.dir/bench_ablation_iops.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_iops.dir/bench_ablation_iops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moment_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/moment_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/moment_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/moment_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddak/CMakeFiles/moment_ddak.dir/DependInfo.cmake"
+  "/root/repo/build/src/iostack/CMakeFiles/moment_iostack.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/moment_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/moment_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/moment_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/moment_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/moment_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iops.dir/bench_ablation_iops.cpp.o"
+  "CMakeFiles/bench_ablation_iops.dir/bench_ablation_iops.cpp.o.d"
+  "bench_ablation_iops"
+  "bench_ablation_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

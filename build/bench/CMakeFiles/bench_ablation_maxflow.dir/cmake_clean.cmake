@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxflow.dir/bench_ablation_maxflow.cpp.o"
+  "CMakeFiles/bench_ablation_maxflow.dir/bench_ablation_maxflow.cpp.o.d"
+  "bench_ablation_maxflow"
+  "bench_ablation_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_symmetry.dir/bench_ablation_symmetry.cpp.o"
+  "CMakeFiles/bench_ablation_symmetry.dir/bench_ablation_symmetry.cpp.o.d"
+  "bench_ablation_symmetry"
+  "bench_ablation_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

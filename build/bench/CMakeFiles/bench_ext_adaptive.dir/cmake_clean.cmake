@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive.dir/bench_ext_adaptive.cpp.o"
+  "CMakeFiles/bench_ext_adaptive.dir/bench_ext_adaptive.cpp.o.d"
+  "bench_ext_adaptive"
+  "bench_ext_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_featdim.dir/bench_ext_featdim.cpp.o"
+  "CMakeFiles/bench_ext_featdim.dir/bench_ext_featdim.cpp.o.d"
+  "bench_ext_featdim"
+  "bench_ext_featdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_featdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

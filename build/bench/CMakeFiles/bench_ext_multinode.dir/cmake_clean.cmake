@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multinode.dir/bench_ext_multinode.cpp.o"
+  "CMakeFiles/bench_ext_multinode.dir/bench_ext_multinode.cpp.o.d"
+  "bench_ext_multinode"
+  "bench_ext_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_02_placements.dir/bench_fig01_02_placements.cpp.o"
+  "CMakeFiles/bench_fig01_02_placements.dir/bench_fig01_02_placements.cpp.o.d"
+  "bench_fig01_02_placements"
+  "bench_fig01_02_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_02_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_04_mhyperion.dir/bench_fig03_04_mhyperion.cpp.o"
+  "CMakeFiles/bench_fig03_04_mhyperion.dir/bench_fig03_04_mhyperion.cpp.o.d"
+  "bench_fig03_04_mhyperion"
+  "bench_fig03_04_mhyperion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_04_mhyperion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

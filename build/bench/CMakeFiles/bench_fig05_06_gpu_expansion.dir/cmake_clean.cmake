@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_06_gpu_expansion.dir/bench_fig05_06_gpu_expansion.cpp.o"
+  "CMakeFiles/bench_fig05_06_gpu_expansion.dir/bench_fig05_06_gpu_expansion.cpp.o.d"
+  "bench_fig05_06_gpu_expansion"
+  "bench_fig05_06_gpu_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_06_gpu_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

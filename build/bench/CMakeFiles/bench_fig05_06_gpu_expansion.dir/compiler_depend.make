@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig05_06_gpu_expansion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_ddak.dir/bench_fig14_15_ddak.cpp.o"
+  "CMakeFiles/bench_fig14_15_ddak.dir/bench_fig14_15_ddak.cpp.o.d"
+  "bench_fig14_15_ddak"
+  "bench_fig14_15_ddak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_ddak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

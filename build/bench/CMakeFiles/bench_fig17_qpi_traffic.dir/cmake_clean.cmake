@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_qpi_traffic.dir/bench_fig17_qpi_traffic.cpp.o"
+  "CMakeFiles/bench_fig17_qpi_traffic.dir/bench_fig17_qpi_traffic.cpp.o.d"
+  "bench_fig17_qpi_traffic"
+  "bench_fig17_qpi_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_qpi_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

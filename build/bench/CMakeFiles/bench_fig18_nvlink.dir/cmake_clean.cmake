@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_nvlink.dir/bench_fig18_nvlink.cpp.o"
+  "CMakeFiles/bench_fig18_nvlink.dir/bench_fig18_nvlink.cpp.o.d"
+  "bench_fig18_nvlink"
+  "bench_fig18_nvlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_nvlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preprocessing_cost.dir/bench_preprocessing_cost.cpp.o"
+  "CMakeFiles/bench_preprocessing_cost.dir/bench_preprocessing_cost.cpp.o.d"
+  "bench_preprocessing_cost"
+  "bench_preprocessing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preprocessing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

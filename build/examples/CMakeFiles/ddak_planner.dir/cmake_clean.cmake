@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddak_planner.dir/ddak_planner.cpp.o"
+  "CMakeFiles/ddak_planner.dir/ddak_planner.cpp.o.d"
+  "ddak_planner"
+  "ddak_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddak_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_graphsage.dir/train_graphsage.cpp.o"
+  "CMakeFiles/train_graphsage.dir/train_graphsage.cpp.o.d"
+  "train_graphsage"
+  "train_graphsage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_graphsage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

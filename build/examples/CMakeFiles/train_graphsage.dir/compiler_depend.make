@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for train_graphsage.
+# This may be replaced when dependencies are built.

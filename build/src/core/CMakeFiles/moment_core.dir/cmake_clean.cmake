@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_core.dir/auto_module.cpp.o"
+  "CMakeFiles/moment_core.dir/auto_module.cpp.o.d"
+  "CMakeFiles/moment_core.dir/plan_io.cpp.o"
+  "CMakeFiles/moment_core.dir/plan_io.cpp.o.d"
+  "libmoment_core.a"
+  "libmoment_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

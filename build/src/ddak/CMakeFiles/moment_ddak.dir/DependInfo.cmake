@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddak/adaptive.cpp" "src/ddak/CMakeFiles/moment_ddak.dir/adaptive.cpp.o" "gcc" "src/ddak/CMakeFiles/moment_ddak.dir/adaptive.cpp.o.d"
+  "/root/repo/src/ddak/ddak.cpp" "src/ddak/CMakeFiles/moment_ddak.dir/ddak.cpp.o" "gcc" "src/ddak/CMakeFiles/moment_ddak.dir/ddak.cpp.o.d"
+  "/root/repo/src/ddak/workload.cpp" "src/ddak/CMakeFiles/moment_ddak.dir/workload.cpp.o" "gcc" "src/ddak/CMakeFiles/moment_ddak.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sampling/CMakeFiles/moment_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/moment_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/moment_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/moment_maxflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_ddak.dir/adaptive.cpp.o"
+  "CMakeFiles/moment_ddak.dir/adaptive.cpp.o.d"
+  "CMakeFiles/moment_ddak.dir/ddak.cpp.o"
+  "CMakeFiles/moment_ddak.dir/ddak.cpp.o.d"
+  "CMakeFiles/moment_ddak.dir/workload.cpp.o"
+  "CMakeFiles/moment_ddak.dir/workload.cpp.o.d"
+  "libmoment_ddak.a"
+  "libmoment_ddak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_ddak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for moment_ddak.
+# This may be replaced when dependencies are built.

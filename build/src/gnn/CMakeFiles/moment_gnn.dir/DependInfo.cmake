@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/block.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/block.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/block.cpp.o.d"
+  "/root/repo/src/gnn/features.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/features.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/features.cpp.o.d"
+  "/root/repo/src/gnn/gat_layer.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/gat_layer.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/gat_layer.cpp.o.d"
+  "/root/repo/src/gnn/gcn_layer.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/gcn_layer.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/gcn_layer.cpp.o.d"
+  "/root/repo/src/gnn/loss.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/loss.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/loss.cpp.o.d"
+  "/root/repo/src/gnn/model.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/model.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/model.cpp.o.d"
+  "/root/repo/src/gnn/optimizer.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/optimizer.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/gnn/sage_layer.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/sage_layer.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/sage_layer.cpp.o.d"
+  "/root/repo/src/gnn/synthetic.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/synthetic.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/synthetic.cpp.o.d"
+  "/root/repo/src/gnn/tensor.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/tensor.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/tensor.cpp.o.d"
+  "/root/repo/src/gnn/trainer.cpp" "src/gnn/CMakeFiles/moment_gnn.dir/trainer.cpp.o" "gcc" "src/gnn/CMakeFiles/moment_gnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sampling/CMakeFiles/moment_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/moment_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_gnn.dir/block.cpp.o"
+  "CMakeFiles/moment_gnn.dir/block.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/features.cpp.o"
+  "CMakeFiles/moment_gnn.dir/features.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/gat_layer.cpp.o"
+  "CMakeFiles/moment_gnn.dir/gat_layer.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/gcn_layer.cpp.o"
+  "CMakeFiles/moment_gnn.dir/gcn_layer.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/loss.cpp.o"
+  "CMakeFiles/moment_gnn.dir/loss.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/model.cpp.o"
+  "CMakeFiles/moment_gnn.dir/model.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/optimizer.cpp.o"
+  "CMakeFiles/moment_gnn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/sage_layer.cpp.o"
+  "CMakeFiles/moment_gnn.dir/sage_layer.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/synthetic.cpp.o"
+  "CMakeFiles/moment_gnn.dir/synthetic.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/tensor.cpp.o"
+  "CMakeFiles/moment_gnn.dir/tensor.cpp.o.d"
+  "CMakeFiles/moment_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/moment_gnn.dir/trainer.cpp.o.d"
+  "libmoment_gnn.a"
+  "libmoment_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

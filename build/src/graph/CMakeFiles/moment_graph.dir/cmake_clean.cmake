@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_graph.dir/csr.cpp.o"
+  "CMakeFiles/moment_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/moment_graph.dir/datasets.cpp.o"
+  "CMakeFiles/moment_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/moment_graph.dir/generators.cpp.o"
+  "CMakeFiles/moment_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/moment_graph.dir/partition.cpp.o"
+  "CMakeFiles/moment_graph.dir/partition.cpp.o.d"
+  "libmoment_graph.a"
+  "libmoment_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_iostack.dir/feature_store.cpp.o"
+  "CMakeFiles/moment_iostack.dir/feature_store.cpp.o.d"
+  "CMakeFiles/moment_iostack.dir/ssd.cpp.o"
+  "CMakeFiles/moment_iostack.dir/ssd.cpp.o.d"
+  "libmoment_iostack.a"
+  "libmoment_iostack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_iostack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maxflow/dinic.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/dinic.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/dinic.cpp.o.d"
+  "/root/repo/src/maxflow/edmonds_karp.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/edmonds_karp.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/edmonds_karp.cpp.o.d"
+  "/root/repo/src/maxflow/flow_network.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/flow_network.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/flow_network.cpp.o.d"
+  "/root/repo/src/maxflow/min_cut.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/min_cut.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/min_cut.cpp.o.d"
+  "/root/repo/src/maxflow/push_relabel.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/push_relabel.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/push_relabel.cpp.o.d"
+  "/root/repo/src/maxflow/time_bisection.cpp" "src/maxflow/CMakeFiles/moment_maxflow.dir/time_bisection.cpp.o" "gcc" "src/maxflow/CMakeFiles/moment_maxflow.dir/time_bisection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_maxflow.dir/dinic.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/dinic.cpp.o.d"
+  "CMakeFiles/moment_maxflow.dir/edmonds_karp.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/edmonds_karp.cpp.o.d"
+  "CMakeFiles/moment_maxflow.dir/flow_network.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/flow_network.cpp.o.d"
+  "CMakeFiles/moment_maxflow.dir/min_cut.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/min_cut.cpp.o.d"
+  "CMakeFiles/moment_maxflow.dir/push_relabel.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/push_relabel.cpp.o.d"
+  "CMakeFiles/moment_maxflow.dir/time_bisection.cpp.o"
+  "CMakeFiles/moment_maxflow.dir/time_bisection.cpp.o.d"
+  "libmoment_maxflow.a"
+  "libmoment_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

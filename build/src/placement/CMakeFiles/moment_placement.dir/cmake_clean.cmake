@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_placement.dir/search.cpp.o"
+  "CMakeFiles/moment_placement.dir/search.cpp.o.d"
+  "libmoment_placement.a"
+  "libmoment_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_runtime.dir/parallel_trainer.cpp.o"
+  "CMakeFiles/moment_runtime.dir/parallel_trainer.cpp.o.d"
+  "CMakeFiles/moment_runtime.dir/systems.cpp.o"
+  "CMakeFiles/moment_runtime.dir/systems.cpp.o.d"
+  "libmoment_runtime.a"
+  "libmoment_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/hotness.cpp" "src/sampling/CMakeFiles/moment_sampling.dir/hotness.cpp.o" "gcc" "src/sampling/CMakeFiles/moment_sampling.dir/hotness.cpp.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cpp" "src/sampling/CMakeFiles/moment_sampling.dir/neighbor_sampler.cpp.o" "gcc" "src/sampling/CMakeFiles/moment_sampling.dir/neighbor_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/moment_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

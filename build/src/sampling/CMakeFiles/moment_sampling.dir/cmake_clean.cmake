@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_sampling.dir/hotness.cpp.o"
+  "CMakeFiles/moment_sampling.dir/hotness.cpp.o.d"
+  "CMakeFiles/moment_sampling.dir/neighbor_sampler.cpp.o"
+  "CMakeFiles/moment_sampling.dir/neighbor_sampler.cpp.o.d"
+  "libmoment_sampling.a"
+  "libmoment_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fluid.cpp" "src/sim/CMakeFiles/moment_sim.dir/fluid.cpp.o" "gcc" "src/sim/CMakeFiles/moment_sim.dir/fluid.cpp.o.d"
+  "/root/repo/src/sim/machine_sim.cpp" "src/sim/CMakeFiles/moment_sim.dir/machine_sim.cpp.o" "gcc" "src/sim/CMakeFiles/moment_sim.dir/machine_sim.cpp.o.d"
+  "/root/repo/src/sim/routes.cpp" "src/sim/CMakeFiles/moment_sim.dir/routes.cpp.o" "gcc" "src/sim/CMakeFiles/moment_sim.dir/routes.cpp.o.d"
+  "/root/repo/src/sim/trace_sim.cpp" "src/sim/CMakeFiles/moment_sim.dir/trace_sim.cpp.o" "gcc" "src/sim/CMakeFiles/moment_sim.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddak/CMakeFiles/moment_ddak.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/moment_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/moment_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/moment_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/moment_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_sim.dir/fluid.cpp.o"
+  "CMakeFiles/moment_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/moment_sim.dir/machine_sim.cpp.o"
+  "CMakeFiles/moment_sim.dir/machine_sim.cpp.o.d"
+  "CMakeFiles/moment_sim.dir/routes.cpp.o"
+  "CMakeFiles/moment_sim.dir/routes.cpp.o.d"
+  "CMakeFiles/moment_sim.dir/trace_sim.cpp.o"
+  "CMakeFiles/moment_sim.dir/trace_sim.cpp.o.d"
+  "libmoment_sim.a"
+  "libmoment_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoment_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cluster.cpp" "src/topology/CMakeFiles/moment_topology.dir/cluster.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/cluster.cpp.o.d"
+  "/root/repo/src/topology/device.cpp" "src/topology/CMakeFiles/moment_topology.dir/device.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/device.cpp.o.d"
+  "/root/repo/src/topology/discovery.cpp" "src/topology/CMakeFiles/moment_topology.dir/discovery.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/discovery.cpp.o.d"
+  "/root/repo/src/topology/flow_graph.cpp" "src/topology/CMakeFiles/moment_topology.dir/flow_graph.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/flow_graph.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/moment_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/predictor.cpp" "src/topology/CMakeFiles/moment_topology.dir/predictor.cpp.o" "gcc" "src/topology/CMakeFiles/moment_topology.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/moment_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/moment_maxflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_topology.dir/cluster.cpp.o"
+  "CMakeFiles/moment_topology.dir/cluster.cpp.o.d"
+  "CMakeFiles/moment_topology.dir/device.cpp.o"
+  "CMakeFiles/moment_topology.dir/device.cpp.o.d"
+  "CMakeFiles/moment_topology.dir/discovery.cpp.o"
+  "CMakeFiles/moment_topology.dir/discovery.cpp.o.d"
+  "CMakeFiles/moment_topology.dir/flow_graph.cpp.o"
+  "CMakeFiles/moment_topology.dir/flow_graph.cpp.o.d"
+  "CMakeFiles/moment_topology.dir/machine.cpp.o"
+  "CMakeFiles/moment_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/moment_topology.dir/predictor.cpp.o"
+  "CMakeFiles/moment_topology.dir/predictor.cpp.o.d"
+  "libmoment_topology.a"
+  "libmoment_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moment_util.dir/log.cpp.o"
+  "CMakeFiles/moment_util.dir/log.cpp.o.d"
+  "CMakeFiles/moment_util.dir/rng.cpp.o"
+  "CMakeFiles/moment_util.dir/rng.cpp.o.d"
+  "CMakeFiles/moment_util.dir/stats.cpp.o"
+  "CMakeFiles/moment_util.dir/stats.cpp.o.d"
+  "CMakeFiles/moment_util.dir/table.cpp.o"
+  "CMakeFiles/moment_util.dir/table.cpp.o.d"
+  "CMakeFiles/moment_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/moment_util.dir/thread_pool.cpp.o.d"
+  "libmoment_util.a"
+  "libmoment_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moment_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddak.dir/test_ddak.cpp.o"
+  "CMakeFiles/test_ddak.dir/test_ddak.cpp.o.d"
+  "test_ddak"
+  "test_ddak.pdb"
+  "test_ddak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

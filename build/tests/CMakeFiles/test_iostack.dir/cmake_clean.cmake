@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iostack.dir/test_iostack.cpp.o"
+  "CMakeFiles/test_iostack.dir/test_iostack.cpp.o.d"
+  "test_iostack"
+  "test_iostack.pdb"
+  "test_iostack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iostack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
