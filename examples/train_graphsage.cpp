@@ -90,6 +90,13 @@ int main(int argc, char** argv) {
                 e, stats.mean_loss, stats.mean_accuracy, stats.batches,
                 stats.fetched_vertices, stats.wall_time_s,
                 trainer.replicas_in_sync() ? "yes" : "NO");
+    std::printf("  stages (slowest worker): sample %.3fs  gather %.3fs  "
+                "compute %.3fs  step %.3fs  allreduce %.3fs  | "
+                "IO hidden by pipeline: %.3fs (overlap %.0f%%)\n",
+                stats.stage_max.sample_s, stats.stage_max.gather_s(),
+                stats.stage_max.compute_s, stats.stage_max.optimizer_s,
+                stats.allreduce_s, stats.stage_max.hidden_io_s,
+                100.0 * stats.overlap_ratio);
   }
   array.stop_all();
 

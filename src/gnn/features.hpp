@@ -2,7 +2,14 @@
 // Feature providers: where vertex embeddings come from. The in-memory
 // provider backs tests; the IO-stack provider (iostack/feature_store.hpp)
 // pulls them through the simulated NVMe path, exercising the same interface.
+//
+// Providers expose both a synchronous gather and an asynchronous
+// begin/wait protocol. The async form lets the pipelined execution engine
+// issue the feature fetch for batch N+1 and compute on batch N while the IO
+// is in flight; providers without real asynchrony (e.g. InMemoryFeatures)
+// fall back to completing the gather inside gather_begin().
 
+#include <cstdint>
 #include <span>
 
 #include "gnn/tensor.hpp"
@@ -12,11 +19,29 @@ namespace moment::gnn {
 
 class FeatureProvider {
  public:
+  /// Handle for an in-flight asynchronous gather. kSyncTicket means the
+  /// gather already completed inside gather_begin() (nothing was overlapped).
+  using GatherTicket = std::uint64_t;
+  static constexpr GatherTicket kSyncTicket = 0;
+
   virtual ~FeatureProvider() = default;
   virtual std::size_t dim() const = 0;
   /// Fills `out` (vertices.size() x dim()) with the features of `vertices`.
   virtual void gather(std::span<const graph::VertexId> vertices,
                       Tensor& out) = 0;
+
+  /// Starts filling `out` with the features of `vertices`. `out` must stay
+  /// alive (and must not move) until the matching gather_wait() returns;
+  /// `vertices` may be released once gather_begin() returns. The default
+  /// implementation is the synchronous fallback.
+  virtual GatherTicket gather_begin(std::span<const graph::VertexId> vertices,
+                                    Tensor& out) {
+    gather(vertices, out);
+    return kSyncTicket;
+  }
+
+  /// Completes the gather identified by `ticket`. A kSyncTicket is a no-op.
+  virtual void gather_wait(GatherTicket ticket) { (void)ticket; }
 };
 
 class InMemoryFeatures final : public FeatureProvider {

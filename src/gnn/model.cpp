@@ -108,13 +108,17 @@ std::vector<Param*> GnnModel::parameters() {
   return out;
 }
 
+std::vector<const Param*> GnnModel::parameters() const {
+  std::vector<const Param*> out;
+  for (const auto& layer : layers_) {
+    for (const Param* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
 std::size_t GnnModel::num_parameters() const {
   std::size_t n = 0;
-  for (const auto& layer : layers_) {
-    for (Param* p : const_cast<GnnLayer&>(*layer).parameters()) {
-      n += p->value.size();
-    }
-  }
+  for (const Param* p : parameters()) n += p->value.size();
   return n;
 }
 

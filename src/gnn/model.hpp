@@ -97,6 +97,8 @@ class GnnModel final : public Module {
   void backward(std::span<const Block> blocks, const Tensor& grad_out);
 
   std::vector<Param*> parameters() override;
+  /// Read-only view of the parameters (e.g. for DDP sync checks).
+  std::vector<const Param*> parameters() const;
   const ModelConfig& config() const noexcept { return config_; }
   std::size_t num_parameters() const;
 

@@ -89,17 +89,30 @@ TieredFeatureClient::TieredFeatureClient(TieredFeatureStore& store,
 
 void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
                                  gnn::Tensor& out) {
+  gather_wait(gather_begin(vertices, out));
+}
+
+gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
+    std::span<const graph::VertexId> vertices, gnn::Tensor& out) {
   if (out.rows() != vertices.size() || out.cols() != store_.dim()) {
     throw std::invalid_argument("TieredFeatureClient::gather: shape mismatch");
   }
-  const std::size_t row_bytes = store_.row_bytes();
-  bounce_.resize(vertices.size() * row_bytes);
+  Slot* slot = nullptr;
+  for (Slot& s : slots_) {
+    if (s.ticket == 0) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    throw std::logic_error(
+        "TieredFeatureClient::gather_begin: more than two gathers in flight");
+  }
 
-  struct Pending {
-    std::size_t out_row;
-    std::size_t bounce_off;
-  };
-  std::vector<Pending> pending;
+  const std::size_t row_bytes = store_.row_bytes();
+  slot->bounce.resize(vertices.size() * row_bytes);
+  slot->pending.clear();
+  scratch_reqs_.clear();
 
   for (std::size_t i = 0; i < vertices.size(); ++i) {
     const auto& loc = store_.location(vertices[i]);
@@ -118,11 +131,11 @@ void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
       }
       case BinBacking::Kind::kSsd: {
         const std::size_t off = i * row_bytes;
-        engine_.submit_read(static_cast<std::size_t>(loc.ssd),
-                            static_cast<std::uint64_t>(loc.index) * row_bytes,
-                            static_cast<std::uint32_t>(row_bytes),
-                            bounce_.data() + off);
-        pending.push_back({i, off});
+        scratch_reqs_.push_back(
+            {static_cast<std::size_t>(loc.ssd),
+             static_cast<std::uint64_t>(loc.index) * row_bytes,
+             static_cast<std::uint32_t>(row_bytes), slot->bounce.data() + off});
+        slot->pending.push_back({i, off});
         ++stats_.ssd_reads;
         stats_.ssd_bytes += row_bytes;
         break;
@@ -130,13 +143,40 @@ void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
     }
   }
 
-  if (const std::size_t failures = engine_.wait_all(); failures != 0) {
+  if (scratch_reqs_.empty()) {
+    return kSyncTicket;  // served entirely from the cache tiers
+  }
+  slot->group = engine_.group_begin();
+  engine_.submit_batch(scratch_reqs_);
+  engine_.group_end(slot->group);
+  slot->out = &out;
+  slot->ticket = next_ticket_++;
+  return slot->ticket;
+}
+
+void TieredFeatureClient::gather_wait(GatherTicket ticket) {
+  if (ticket == kSyncTicket) return;
+  Slot* slot = nullptr;
+  for (Slot& s : slots_) {
+    if (s.ticket == ticket) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    throw std::logic_error("TieredFeatureClient::gather_wait: unknown ticket");
+  }
+  const std::size_t failures = engine_.wait_group(slot->group);
+  if (failures != 0) {
+    slot->ticket = 0;
     throw std::runtime_error("TieredFeatureClient: SSD read failures");
   }
-  for (const Pending& p : pending) {
-    std::memcpy(out.row(p.out_row).data(), bounce_.data() + p.bounce_off,
+  for (const PendingRow& p : slot->pending) {
+    std::memcpy(slot->out->row(p.out_row).data(),
+                slot->bounce.data() + p.bounce_off,
                 store_.dim() * sizeof(float));
   }
+  slot->ticket = 0;
 }
 
 }  // namespace moment::iostack

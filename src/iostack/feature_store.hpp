@@ -69,7 +69,10 @@ class TieredFeatureStore {
 };
 
 /// Per-GPU gather client. Implements gnn::FeatureProvider so the trainer can
-/// run end-to-end through the IO stack.
+/// run end-to-end through the IO stack. The async gather_begin/gather_wait
+/// protocol serves cache tiers immediately, submits SSD reads as one
+/// completion group, and scatters the bounce-buffered rows at wait time.
+/// Two staging slots allow two batches in flight (pipelined prefetch).
 class TieredFeatureClient final : public gnn::FeatureProvider {
  public:
   explicit TieredFeatureClient(TieredFeatureStore& store,
@@ -78,15 +81,35 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
   std::size_t dim() const override { return store_.dim(); }
   void gather(std::span<const graph::VertexId> vertices,
               gnn::Tensor& out) override;
+  GatherTicket gather_begin(std::span<const graph::VertexId> vertices,
+                            gnn::Tensor& out) override;
+  void gather_wait(GatherTicket ticket) override;
 
   const GatherStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
+  struct PendingRow {
+    std::size_t out_row;
+    std::size_t bounce_off;
+  };
+  /// One in-flight gather: its SSD completion group, the rows to scatter,
+  /// and a dedicated bounce buffer (per-slot, so prefetch never overwrites
+  /// the batch still being awaited).
+  struct Slot {
+    std::uint64_t ticket = 0;  // 0 = free
+    std::uint64_t group = 0;
+    gnn::Tensor* out = nullptr;
+    std::vector<PendingRow> pending;
+    std::vector<std::byte> bounce;  // page-aligned staging for SSD reads
+  };
+
   TieredFeatureStore& store_;
   IoEngine engine_;
   GatherStats stats_;
-  std::vector<std::byte> bounce_;  // page-aligned staging for SSD reads
+  Slot slots_[2];
+  std::uint64_t next_ticket_ = 1;
+  std::vector<ReadRequest> scratch_reqs_;
 };
 
 }  // namespace moment::iostack

@@ -9,6 +9,7 @@
 // SSD service thread plays the device controller.
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -29,18 +30,15 @@ struct Cqe {
   std::uint32_t status = 0;  // 0 = success
 };
 
-/// Fixed-capacity single-producer single-consumer ring.
+/// Fixed-capacity single-producer single-consumer ring. The requested
+/// capacity is rounded up to the next power of two (index math stays
+/// branch-free), so e.g. a queue depth of 100 yields an effective 128.
 template <typename T>
 class SpscRing {
  public:
-  explicit SpscRing(std::size_t capacity_pow2)
-      : buffer_(capacity_pow2), mask_(capacity_pow2 - 1) {
-    // Power-of-two capacity keeps index math branch-free.
-    if ((capacity_pow2 & mask_) != 0 || capacity_pow2 == 0) {
-      buffer_.resize(64);
-      mask_ = 63;
-    }
-  }
+  explicit SpscRing(std::size_t capacity)
+      : buffer_(std::bit_ceil(capacity == 0 ? std::size_t{64} : capacity)),
+        mask_(buffer_.size() - 1) {}
 
   bool push(const T& item) noexcept {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -74,7 +72,8 @@ class SpscRing {
 };
 
 /// One SQ/CQ pair. The client pushes SQEs and pops CQEs; the device thread
-/// does the reverse.
+/// does the reverse. `depth` is rounded up to a power of two; depth()
+/// reports the effective (rounded) capacity.
 class QueuePair {
  public:
   explicit QueuePair(std::size_t depth = 256) : sq_(depth), cq_(depth) {}

@@ -150,6 +150,13 @@ void IoEngine::drain_completions() {
       --in_flight_;
       ++completed_;
       if (cqe.status != 0) ++failures_;
+      for (CompletionGroup& g : groups_) {
+        if (cqe.tag >= g.start_tag && cqe.tag < g.end_tag) {
+          --g.outstanding;
+          if (cqe.status != 0) ++g.failures;
+          break;
+        }
+      }
       for (auto it = pending_times_.begin(); it != pending_times_.end();
            ++it) {
         if (it->first == cqe.tag) {
@@ -171,6 +178,9 @@ std::uint64_t IoEngine::submit_read(std::size_t ssd, std::uint64_t offset,
     throw std::out_of_range("IoEngine::submit_read: ssd index");
   }
   Sqe sqe{offset, length, dest, next_tag_++};
+  if (!groups_.empty() && groups_.back().end_tag == UINT64_MAX) {
+    ++groups_.back().outstanding;
+  }
   pending_times_.emplace_back(sqe.tag, now_ns());
   while (!queues_[ssd]->submit(sqe)) {
     // SQ full: make progress by draining completions (as a GPU thread would
@@ -196,6 +206,49 @@ std::size_t IoEngine::wait_all() {
   }
   const std::size_t f = failures_;
   failures_ = 0;
+  return f;
+}
+
+std::uint64_t IoEngine::group_begin() {
+  if (!groups_.empty() && groups_.back().end_tag == UINT64_MAX) {
+    throw std::logic_error("IoEngine::group_begin: a group is already open");
+  }
+  CompletionGroup g;
+  g.id = next_group_id_++;
+  g.start_tag = next_tag_;
+  groups_.push_back(g);
+  return g.id;
+}
+
+void IoEngine::group_end(std::uint64_t group) {
+  for (CompletionGroup& g : groups_) {
+    if (g.id == group) {
+      g.end_tag = next_tag_;
+      return;
+    }
+  }
+  throw std::logic_error("IoEngine::group_end: unknown group");
+}
+
+std::size_t IoEngine::wait_group(std::uint64_t group) {
+  std::size_t idx = groups_.size();
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].id == group) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == groups_.size()) {
+    throw std::logic_error("IoEngine::wait_group: unknown group");
+  }
+  if (groups_[idx].end_tag == UINT64_MAX) group_end(group);
+  while (groups_[idx].outstanding > 0) {
+    const std::size_t before = groups_[idx].outstanding;
+    drain_completions();
+    if (groups_[idx].outstanding == before) std::this_thread::yield();
+  }
+  const std::size_t f = groups_[idx].failures;
+  groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(idx));
   return f;
 }
 

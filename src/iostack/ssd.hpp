@@ -121,6 +121,16 @@ class IoEngine {
   /// Returns the number of failed requests.
   std::size_t wait_all();
 
+  /// Completion groups: reads submitted between group_begin() and
+  /// group_end() can be awaited independently of later submissions, so two
+  /// batches (e.g. the current gather and a prefetched one) can be in
+  /// flight at once. Only one group may be open at a time; groups must be
+  /// awaited in any order via wait_group().
+  std::uint64_t group_begin();
+  void group_end(std::uint64_t group);
+  /// Polls until every read of `group` completed; returns its failure count.
+  std::size_t wait_group(std::uint64_t group);
+
   std::size_t in_flight() const noexcept { return in_flight_; }
   std::uint64_t completed() const noexcept { return completed_; }
 
@@ -131,7 +141,19 @@ class IoEngine {
  private:
   void drain_completions();
 
+  /// Tags are assigned sequentially, so a group is a half-open tag range;
+  /// an open group has end_tag == UINT64_MAX.
+  struct CompletionGroup {
+    std::uint64_t id = 0;
+    std::uint64_t start_tag = 0;
+    std::uint64_t end_tag = UINT64_MAX;
+    std::size_t outstanding = 0;
+    std::size_t failures = 0;
+  };
+
   std::vector<QueuePair*> queues_;  // one per SSD
+  std::vector<CompletionGroup> groups_;  // at most a handful live at once
+  std::uint64_t next_group_id_ = 1;
   std::size_t in_flight_ = 0;
   std::uint64_t next_tag_ = 1;
   std::uint64_t completed_ = 0;

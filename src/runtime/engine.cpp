@@ -1,0 +1,312 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+#include "gnn/block.hpp"
+#include "gnn/loss.hpp"
+
+namespace moment::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+PipelineEngine::PipelineEngine(
+    const graph::CsrGraph& graph,
+    std::vector<gnn::FeatureProvider*> providers,
+    std::vector<gnn::GnnModel*> models,
+    std::vector<gnn::Optimizer*> optimizers,
+    std::vector<sampling::NeighborSampler*> samplers,
+    const std::vector<std::vector<graph::VertexId>>* partitions,
+    std::uint64_t seed, EngineOptions options)
+    : graph_(graph),
+      providers_(std::move(providers)),
+      models_(std::move(models)),
+      optimizers_(std::move(optimizers)),
+      samplers_(std::move(samplers)),
+      partitions_(partitions),
+      seed_(seed),
+      options_(options),
+      barrier_(static_cast<std::ptrdiff_t>(providers_.size() + 1)) {
+  if (providers_.empty()) {
+    throw std::invalid_argument("PipelineEngine: no workers");
+  }
+  const std::size_t workers = providers_.size();
+  if (models_.size() != workers || optimizers_.size() != workers ||
+      samplers_.size() != workers || partitions_ == nullptr ||
+      partitions_->size() != workers) {
+    throw std::invalid_argument("PipelineEngine: component count mismatch");
+  }
+  if (options_.pipeline_depth == 0) options_.pipeline_depth = 1;
+  params_.reserve(workers);
+  for (gnn::GnnModel* m : models_) params_.push_back(m->parameters());
+
+  std::size_t ar_threads = options_.allreduce_threads;
+  if (ar_threads == 0) {
+    ar_threads = std::min<std::size_t>(
+        workers, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (ar_threads > 1 && params_[0].size() > 1) {
+    allreduce_pool_ = std::make_unique<util::ThreadPool>(ar_threads);
+  }
+
+  worker_states_.resize(workers);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+PipelineEngine::~PipelineEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void PipelineEngine::worker_main(std::size_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || epoch_seq_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_seq_;
+    }
+    run_worker_epoch(w);
+  }
+}
+
+void PipelineEngine::fetch_batch(std::size_t w, sampling::BatchIterator& iter,
+                                 Prefetch& slot, std::size_t round,
+                                 WorkerState& ws) {
+  slot = Prefetch{};
+  slot.valid = true;
+  const auto t0 = Clock::now();
+  slot.batch = iter.next();
+  if (slot.batch.empty()) {
+    ws.times.sample_s += seconds_since(t0);
+    return;
+  }
+  // Per-round sampling stream, keyed by the batch's round (not the round
+  // the prefetch was issued in), so prefetching never perturbs the RNG
+  // sequence relative to the sequential reference.
+  util::Pcg32 rng(seed_ ^ (ctx_.epoch * 7919 + round * 13 + w),
+                  0x57524b52);  // "WRKR"
+  const auto sg = samplers_[w]->sample(slot.batch, rng);
+  slot.blocks = gnn::build_blocks(sg);
+  ws.times.sample_s += seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  slot.x0 = gnn::Tensor(slot.blocks[0].num_src(), providers_[w]->dim());
+  slot.ticket = providers_[w]->gather_begin(slot.blocks[0].src_ids, slot.x0);
+  slot.issued_at = Clock::now();
+  ws.times.gather_issue_s += seconds_since(t1);
+}
+
+void PipelineEngine::run_worker_epoch(std::size_t w) {
+  WorkerState& ws = worker_states_[w];
+  gnn::FeatureProvider& provider = *providers_[w];
+  gnn::GnnModel& model = *models_[w];
+  const bool pipelined = options_.pipeline_depth >= 2;
+
+  sampling::BatchIterator iter((*partitions_)[w], ctx_.batch_size,
+                               seed_ + ctx_.epoch * 1000 + w);
+  Prefetch slots[2];
+
+  for (std::size_t round = 0;; ++round) {
+    Prefetch& cur = slots[round & 1];
+    try {
+      if (!cur.valid) fetch_batch(w, iter, cur, round, ws);
+      // Issue the next batch's sample + gather before completing the
+      // current one: its IO overlaps this round's wait and compute.
+      if (pipelined && round + 1 < ctx_.max_rounds) {
+        fetch_batch(w, iter, slots[(round + 1) & 1], round + 1, ws);
+      }
+      ws.has_batch = !cur.batch.empty();
+
+      if (!cur.batch.empty()) {
+        const auto tw = Clock::now();
+        if (cur.ticket != gnn::FeatureProvider::kSyncTicket) {
+          ws.times.hidden_io_s +=
+              std::chrono::duration<double>(tw - cur.issued_at).count();
+          provider.gather_wait(cur.ticket);
+          cur.ticket = gnn::FeatureProvider::kSyncTicket;
+        }
+        ws.times.gather_wait_s += seconds_since(tw);
+
+        const auto tc = Clock::now();
+        gnn::Tensor logits = model.forward(cur.blocks, cur.x0);
+        std::vector<std::int32_t> seed_labels;
+        seed_labels.reserve(cur.blocks.back().dst_ids.size());
+        for (graph::VertexId v : cur.blocks.back().dst_ids) {
+          seed_labels.push_back(ctx_.labels[v]);
+        }
+        model.zero_grad();
+        const auto loss = gnn::softmax_cross_entropy(logits, seed_labels);
+        model.backward(cur.blocks, loss.grad_logits);
+        ws.times.compute_s += seconds_since(tc);
+
+        ws.loss_sum += loss.loss;
+        ws.acc_sum += loss.accuracy;
+        ++ws.batches;
+        ws.fetched += cur.blocks[0].num_src();
+      } else {
+        // Empty tail batch: contribute zero gradients to the average.
+        model.zero_grad();
+      }
+    } catch (...) {
+      if (!ws.error) ws.error = std::current_exception();
+      ws.has_batch = false;
+      model.zero_grad();
+    }
+    cur.valid = false;
+
+    barrier_.arrive_and_wait();  // grads + has_batch published
+    barrier_.arrive_and_wait();  // coordinator all-reduced / decided control
+    if (ctx_.control == RoundControl::kStopNow) break;
+
+    const auto ts = Clock::now();
+    optimizers_[w]->step();
+    ws.times.optimizer_s += seconds_since(ts);
+    if (ctx_.control == RoundControl::kStopAfterStep) break;
+  }
+
+  // Drain any prefetched-but-never-computed gather (max_rounds truncation)
+  // before the epoch-exit barrier, so the caller may tear down providers.
+  for (Prefetch& slot : slots) {
+    if (slot.valid && slot.ticket != gnn::FeatureProvider::kSyncTicket) {
+      try {
+        provider.gather_wait(slot.ticket);
+      } catch (...) {
+        if (!ws.error) ws.error = std::current_exception();
+      }
+    }
+    slot = Prefetch{};
+  }
+  barrier_.arrive_and_wait();  // epoch drained
+}
+
+void PipelineEngine::all_reduce_grads() {
+  // Average gradients across replicas and write the average back into every
+  // replica. The per-parameter accumulation order matches the historical
+  // sequential implementation, so chunking changes nothing numerically.
+  const std::size_t num_params = params_[0].size();
+  const float inv = 1.0f / static_cast<float>(params_.size());
+  auto reduce_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      gnn::Tensor& acc = params_[0][p]->grad;
+      for (std::size_t w = 1; w < params_.size(); ++w) {
+        acc += params_[w][p]->grad;
+      }
+      acc *= inv;
+      for (std::size_t w = 1; w < params_.size(); ++w) {
+        params_[w][p]->grad = acc;
+      }
+    }
+  };
+
+  if (!allreduce_pool_ || num_params < 2) {
+    reduce_range(0, num_params);
+    return;
+  }
+  const std::size_t chunks = std::min(allreduce_pool_->size(), num_params);
+  const std::size_t per_chunk = (num_params + chunks - 1) / chunks;
+  std::vector<std::future<void>> done;
+  done.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(num_params, begin + per_chunk);
+    if (begin >= end) break;
+    done.push_back(allreduce_pool_->submit(reduce_range, begin, end));
+  }
+  for (auto& f : done) f.get();
+}
+
+EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
+                                     std::size_t batch_size,
+                                     std::size_t max_rounds,
+                                     std::uint64_t epoch_counter) {
+  const auto t0 = Clock::now();
+  const std::size_t workers = providers_.size();
+
+  for (WorkerState& ws : worker_states_) ws = WorkerState{};
+  ctx_.labels = labels;
+  ctx_.batch_size = batch_size;
+  ctx_.max_rounds = max_rounds;
+  ctx_.epoch = epoch_counter;
+  ctx_.control = RoundControl::kContinue;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_seq_;
+  }
+  cv_.notify_all();
+
+  EpochStats stats;
+  double allreduce_s = 0.0;
+  for (std::size_t round = 0;; ++round) {
+    barrier_.arrive_and_wait();  // workers computed; grads + flags ready
+    bool any = false;
+    bool failed = false;
+    for (const WorkerState& ws : worker_states_) {
+      any |= ws.has_batch;
+      failed |= static_cast<bool>(ws.error);
+    }
+    if (!any || failed) {
+      ctx_.control = RoundControl::kStopNow;
+    } else {
+      const auto ta = Clock::now();
+      all_reduce_grads();
+      allreduce_s += seconds_since(ta);
+      ++stats.rounds;
+      ctx_.control = round + 1 >= max_rounds ? RoundControl::kStopAfterStep
+                                             : RoundControl::kContinue;
+    }
+    barrier_.arrive_and_wait();  // control + averaged grads published
+    if (ctx_.control != RoundControl::kContinue) break;
+  }
+  barrier_.arrive_and_wait();  // epoch drained: workers fully idle
+
+  double loss_sum = 0.0, acc_sum = 0.0, hidden = 0.0, exposed = 0.0;
+  stats.per_worker.reserve(workers);
+  for (WorkerState& ws : worker_states_) {
+    if (ws.error) std::rethrow_exception(ws.error);
+    loss_sum += ws.loss_sum;
+    acc_sum += ws.acc_sum;
+    stats.batches += ws.batches;
+    stats.fetched_vertices += ws.fetched;
+    stats.per_worker.push_back(ws.times);
+    auto& mx = stats.stage_max;
+    mx.sample_s = std::max(mx.sample_s, ws.times.sample_s);
+    mx.gather_issue_s = std::max(mx.gather_issue_s, ws.times.gather_issue_s);
+    mx.gather_wait_s = std::max(mx.gather_wait_s, ws.times.gather_wait_s);
+    mx.compute_s = std::max(mx.compute_s, ws.times.compute_s);
+    mx.optimizer_s = std::max(mx.optimizer_s, ws.times.optimizer_s);
+    mx.hidden_io_s = std::max(mx.hidden_io_s, ws.times.hidden_io_s);
+    hidden += ws.times.hidden_io_s;
+    exposed += ws.times.gather_wait_s;
+  }
+  if (stats.batches > 0) {
+    stats.mean_loss = static_cast<float>(loss_sum / stats.batches);
+    stats.mean_accuracy = static_cast<float>(acc_sum / stats.batches);
+  }
+  stats.allreduce_s = allreduce_s;
+  if (hidden + exposed > 0.0) {
+    stats.overlap_ratio = hidden / (hidden + exposed);
+  }
+  stats.wall_time_s = seconds_since(t0);
+  return stats;
+}
+
+}  // namespace moment::runtime

@@ -1,0 +1,173 @@
+#pragma once
+// Pipelined data-parallel execution engine: the functional counterpart of the
+// flow-level simulator's overlapped IO/compute model (paper Section 3.1,
+// SimOptions::compute_time_per_batch).
+//
+// Each worker ("GPU") is a persistent executor thread that double-buffers
+// mini-batches: while batch N runs forward/backward, batch N+1 is already
+// sampled and its feature gather issued through the provider's async
+// begin/wait protocol, so storage latency hides behind compute. Rounds stay
+// barrier-synchronized for DDP correctness: grads are averaged chunk-parallel
+// on the coordinator between two barriers, then every worker steps its own
+// optimizer on the identical averaged gradients.
+//
+// Per-stage telemetry (sample / gather / compute / all-reduce seconds plus a
+// pipeline-overlap ratio) makes this measured path directly comparable to the
+// predicted timings in sim::SimReport — the measured half of a Fig.-13-style
+// prediction-vs-measurement story.
+
+#include <barrier>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "gnn/features.hpp"
+#include "gnn/model.hpp"
+#include "gnn/optimizer.hpp"
+#include "graph/csr.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace moment::runtime {
+
+/// Per-worker wall-clock breakdown of one epoch (seconds).
+struct StageTimes {
+  double sample_s = 0.0;        // neighbor sampling + block building
+  double gather_issue_s = 0.0;  // gather_begin: cache copies + SQ submission
+  double gather_wait_s = 0.0;   // exposed stall inside gather_wait
+  double compute_s = 0.0;       // forward/backward
+  double optimizer_s = 0.0;     // local optimizer step
+  /// Time an async gather ticket was in flight while this worker did other
+  /// work (waiting on the previous batch, computing). Zero for providers
+  /// that complete synchronously inside gather_begin().
+  double hidden_io_s = 0.0;
+
+  double gather_s() const noexcept { return gather_issue_s + gather_wait_s; }
+};
+
+struct EpochStats {
+  float mean_loss = 0.0f;
+  float mean_accuracy = 0.0f;
+  std::size_t batches = 0;
+  std::size_t fetched_vertices = 0;
+  double wall_time_s = 0.0;
+
+  // Per-stage telemetry: the measured counterpart of sim::SimReport.
+  std::size_t rounds = 0;
+  std::vector<StageTimes> per_worker;
+  StageTimes stage_max;      // per-stage slowest worker (critical path)
+  double allreduce_s = 0.0;  // coordinator: chunk-parallel grad averaging
+  /// hidden_io / (hidden_io + gather_wait): the fraction of async-gather
+  /// in-flight time that was overlapped with other pipeline stages instead
+  /// of stalling the worker. 0 when nothing ran asynchronously.
+  double overlap_ratio = 0.0;
+};
+
+struct EngineOptions {
+  /// 1 = strictly sequential per worker (sample -> gather -> compute), the
+  /// pre-pipelining reference; 2 = double-buffered prefetch: batch N+1 is
+  /// sampled and its gather issued before batch N's gather completes.
+  std::size_t pipeline_depth = 2;
+  /// Threads for the chunk-parallel gradient all-reduce; 0 = auto
+  /// (min(workers, hardware_concurrency)). 1 runs it inline.
+  std::size_t allreduce_threads = 0;
+};
+
+/// Persistent-worker pipelined engine. Non-owning: the caller (typically
+/// DataParallelTrainer, which stays the public facade) owns the models,
+/// optimizers, samplers, providers and partitions; all must outlive the
+/// engine. run_epoch() is not re-entrant.
+class PipelineEngine {
+ public:
+  PipelineEngine(const graph::CsrGraph& graph,
+                 std::vector<gnn::FeatureProvider*> providers,
+                 std::vector<gnn::GnnModel*> models,
+                 std::vector<gnn::Optimizer*> optimizers,
+                 std::vector<sampling::NeighborSampler*> samplers,
+                 const std::vector<std::vector<graph::VertexId>>* partitions,
+                 std::uint64_t seed, EngineOptions options = {});
+  ~PipelineEngine();
+
+  PipelineEngine(const PipelineEngine&) = delete;
+  PipelineEngine& operator=(const PipelineEngine&) = delete;
+
+  /// One barrier-synchronized epoch. `epoch_counter` feeds the per-epoch
+  /// seed derivation (batch shuffling and per-round sampling streams), which
+  /// is deliberately identical to the historical sequential trainer so the
+  /// pipelined and sequential paths produce the same loss trajectory.
+  EpochStats run_epoch(std::span<const std::int32_t> labels,
+                       std::size_t batch_size, std::size_t max_rounds,
+                       std::uint64_t epoch_counter);
+
+  std::size_t num_workers() const noexcept { return providers_.size(); }
+  const EngineOptions& options() const noexcept { return options_; }
+
+ private:
+  enum class RoundControl { kContinue, kStopNow, kStopAfterStep };
+
+  /// A sampled batch whose feature gather has been issued (double buffer).
+  struct Prefetch {
+    std::span<const graph::VertexId> batch;
+    std::vector<gnn::Block> blocks;
+    gnn::Tensor x0;
+    gnn::FeatureProvider::GatherTicket ticket = gnn::FeatureProvider::kSyncTicket;
+    std::chrono::steady_clock::time_point issued_at{};
+    bool valid = false;
+  };
+
+  struct alignas(64) WorkerState {
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t batches = 0;
+    std::size_t fetched = 0;
+    StageTimes times;
+    bool has_batch = false;
+    std::exception_ptr error;
+  };
+
+  /// Shared per-epoch context, written by the coordinator before waking the
+  /// workers and read by them; barrier phases order all other accesses.
+  struct EpochContext {
+    std::span<const std::int32_t> labels;
+    std::size_t batch_size = 0;
+    std::size_t max_rounds = 0;
+    std::uint64_t epoch = 0;
+    RoundControl control = RoundControl::kContinue;
+  };
+
+  void worker_main(std::size_t w);
+  void run_worker_epoch(std::size_t w);
+  void fetch_batch(std::size_t w, sampling::BatchIterator& iter,
+                   Prefetch& slot, std::size_t round, WorkerState& ws);
+  void all_reduce_grads();
+
+  const graph::CsrGraph& graph_;
+  std::vector<gnn::FeatureProvider*> providers_;
+  std::vector<gnn::GnnModel*> models_;
+  std::vector<gnn::Optimizer*> optimizers_;
+  std::vector<sampling::NeighborSampler*> samplers_;
+  const std::vector<std::vector<graph::VertexId>>* partitions_;
+  std::uint64_t seed_;
+  EngineOptions options_;
+
+  std::vector<std::vector<gnn::Param*>> params_;  // cached per replica
+  std::unique_ptr<util::ThreadPool> allreduce_pool_;
+
+  // Worker lifecycle: workers park on cv_ between epochs; epoch_seq_ wakes
+  // them, shutdown_ retires them. barrier_ has workers + coordinator parties.
+  std::vector<WorkerState> worker_states_;
+  std::vector<std::thread> workers_;
+  std::barrier<> barrier_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_seq_ = 0;
+  bool shutdown_ = false;
+  EpochContext ctx_;
+};
+
+}  // namespace moment::runtime

@@ -1,13 +1,8 @@
 #include "runtime/parallel_trainer.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
-
-#include "gnn/block.hpp"
-#include "gnn/loss.hpp"
+#include <utility>
 
 namespace moment::runtime {
 
@@ -17,6 +12,16 @@ DataParallelTrainer::DataParallelTrainer(
     const gnn::ModelConfig& model_config, std::vector<int> fanouts,
     std::vector<graph::VertexId> train_vertices, float learning_rate,
     std::uint64_t seed)
+    : DataParallelTrainer(graph, std::move(providers), model_config,
+                          std::move(fanouts), std::move(train_vertices),
+                          learning_rate, seed, EngineOptions{}) {}
+
+DataParallelTrainer::DataParallelTrainer(
+    const graph::CsrGraph& graph,
+    std::vector<gnn::FeatureProvider*> providers,
+    const gnn::ModelConfig& model_config, std::vector<int> fanouts,
+    std::vector<graph::VertexId> train_vertices, float learning_rate,
+    std::uint64_t seed, EngineOptions engine_options)
     : graph_(graph), providers_(std::move(providers)), seed_(seed) {
   if (providers_.empty()) {
     throw std::invalid_argument("DataParallelTrainer: no workers");
@@ -37,115 +42,33 @@ DataParallelTrainer::DataParallelTrainer(
   for (std::size_t i = 0; i < train_vertices.size(); ++i) {
     partitions_[i % workers].push_back(train_vertices[i]);
   }
+
+  std::vector<gnn::GnnModel*> model_ptrs;
+  std::vector<gnn::Optimizer*> opt_ptrs;
+  std::vector<sampling::NeighborSampler*> sampler_ptrs;
+  for (std::size_t w = 0; w < workers; ++w) {
+    model_ptrs.push_back(models_[w].get());
+    opt_ptrs.push_back(optimizers_[w].get());
+    sampler_ptrs.push_back(samplers_[w].get());
+  }
+  engine_ = std::make_unique<PipelineEngine>(
+      graph_, providers_, std::move(model_ptrs), std::move(opt_ptrs),
+      std::move(sampler_ptrs), &partitions_, seed_, engine_options);
 }
 
-void DataParallelTrainer::all_reduce_grads() {
-  // Average gradients across replicas and write the average back into every
-  // replica, so identical optimizer states stay identical.
-  std::vector<std::vector<gnn::Param*>> params;
-  params.reserve(models_.size());
-  for (auto& m : models_) params.push_back(m->parameters());
-  const float inv = 1.0f / static_cast<float>(models_.size());
-  for (std::size_t p = 0; p < params[0].size(); ++p) {
-    gnn::Tensor& acc = params[0][p]->grad;
-    for (std::size_t w = 1; w < params.size(); ++w) {
-      acc += params[w][p]->grad;
-    }
-    acc *= inv;
-    for (std::size_t w = 1; w < params.size(); ++w) {
-      params[w][p]->grad = acc;
-    }
-  }
-}
+DataParallelTrainer::~DataParallelTrainer() = default;
 
 EpochStats DataParallelTrainer::train_epoch(
     std::span<const std::int32_t> labels, std::size_t batch_size,
     std::size_t max_rounds) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t workers = providers_.size();
   ++epoch_counter_;
-
-  std::vector<sampling::BatchIterator> iters;
-  iters.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    iters.emplace_back(partitions_[w], batch_size,
-                       seed_ + epoch_counter_ * 1000 + w);
-  }
-
-  EpochStats stats;
-  std::atomic<std::size_t> fetched{0};
-  double loss_acc = 0.0, acc_acc = 0.0;
-
-  for (std::size_t round = 0; round < max_rounds; ++round) {
-    std::vector<std::span<const graph::VertexId>> batches(workers);
-    bool any = false;
-    for (std::size_t w = 0; w < workers; ++w) {
-      batches[w] = iters[w].next();
-      any |= !batches[w].empty();
-    }
-    if (!any) break;
-
-    std::vector<float> losses(workers, 0.0f), accs(workers, 0.0f);
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        if (batches[w].empty()) {
-          // Empty tail batch: contribute zero gradients (zero_grad below).
-          models_[w]->zero_grad();
-          return;
-        }
-        util::Pcg32 rng(seed_ ^ (epoch_counter_ * 7919 + round * 13 + w),
-                        0x57524b52);  // "WRKR"
-        const auto sg = samplers_[w]->sample(batches[w], rng);
-        const auto blocks = gnn::build_blocks(sg);
-        gnn::Tensor x0(blocks[0].num_src(), providers_[w]->dim());
-        providers_[w]->gather(blocks[0].src_ids, x0);
-        fetched += blocks[0].num_src();
-
-        gnn::Tensor logits = models_[w]->forward(blocks, x0);
-        std::vector<std::int32_t> seed_labels;
-        seed_labels.reserve(blocks.back().dst_ids.size());
-        for (graph::VertexId v : blocks.back().dst_ids) {
-          seed_labels.push_back(labels[v]);
-        }
-        models_[w]->zero_grad();
-        const auto loss = gnn::softmax_cross_entropy(logits, seed_labels);
-        models_[w]->backward(blocks, loss.grad_logits);
-        losses[w] = loss.loss;
-        accs[w] = loss.accuracy;
-      });
-    }
-    for (auto& t : threads) t.join();
-
-    all_reduce_grads();
-    for (auto& opt : optimizers_) opt->step();
-
-    for (std::size_t w = 0; w < workers; ++w) {
-      if (batches[w].empty()) continue;
-      loss_acc += losses[w];
-      acc_acc += accs[w];
-      ++stats.batches;
-    }
-  }
-
-  if (stats.batches > 0) {
-    stats.mean_loss = static_cast<float>(loss_acc / stats.batches);
-    stats.mean_accuracy = static_cast<float>(acc_acc / stats.batches);
-  }
-  stats.fetched_vertices = fetched.load();
-  stats.wall_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return stats;
+  return engine_->run_epoch(labels, batch_size, max_rounds, epoch_counter_);
 }
 
 bool DataParallelTrainer::replicas_in_sync(float tolerance) const {
-  auto& first = const_cast<gnn::GnnModel&>(*models_[0]);
-  const auto ref = first.parameters();
+  const auto ref = std::as_const(*models_[0]).parameters();
   for (std::size_t w = 1; w < models_.size(); ++w) {
-    auto& model = const_cast<gnn::GnnModel&>(*models_[w]);
-    const auto params = model.parameters();
+    const auto params = std::as_const(*models_[w]).parameters();
     for (std::size_t p = 0; p < ref.size(); ++p) {
       const auto& a = ref[p]->value;
       const auto& b = params[p]->value;

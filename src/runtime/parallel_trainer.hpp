@@ -1,12 +1,13 @@
 #pragma once
-// Functional data-parallel trainer: N worker threads ("GPUs"), each with its
-// own model replica, sampler and feature provider, synchronised per round by
+// Functional data-parallel trainer: N workers ("GPUs"), each with its own
+// model replica, sampler and feature provider, synchronised per round by
 // gradient averaging (DDP semantics). Training vertices are evenly
 // partitioned across workers, as in the paper's runtime (Section 3.1).
 //
-// This is the *functional* counterpart of the flow-level simulator: it runs
-// the real sampler, the real feature path (optionally through the NVMe IO
-// stack), and the real GNN forward/backward.
+// This class is a thin facade over runtime::PipelineEngine, which runs the
+// real sampler, the real feature path (optionally through the NVMe IO
+// stack) and the real GNN forward/backward on persistent worker executors
+// with sample/gather prefetching overlapped against compute.
 
 #include <cstdint>
 #include <memory>
@@ -17,17 +18,10 @@
 #include "gnn/model.hpp"
 #include "gnn/optimizer.hpp"
 #include "graph/csr.hpp"
+#include "runtime/engine.hpp"
 #include "sampling/neighbor_sampler.hpp"
 
 namespace moment::runtime {
-
-struct EpochStats {
-  float mean_loss = 0.0f;
-  float mean_accuracy = 0.0f;
-  std::size_t batches = 0;
-  std::size_t fetched_vertices = 0;
-  double wall_time_s = 0.0;
-};
 
 class DataParallelTrainer {
  public:
@@ -40,6 +34,17 @@ class DataParallelTrainer {
                       std::vector<graph::VertexId> train_vertices,
                       float learning_rate, std::uint64_t seed);
 
+  /// Same, with explicit engine tuning (pipeline depth, all-reduce threads).
+  DataParallelTrainer(const graph::CsrGraph& graph,
+                      std::vector<gnn::FeatureProvider*> providers,
+                      const gnn::ModelConfig& model_config,
+                      std::vector<int> fanouts,
+                      std::vector<graph::VertexId> train_vertices,
+                      float learning_rate, std::uint64_t seed,
+                      EngineOptions engine_options);
+
+  ~DataParallelTrainer();
+
   /// One epoch over the partitioned training set. `max_rounds` truncates for
   /// tests. Labels index by global vertex id.
   EpochStats train_epoch(std::span<const std::int32_t> labels,
@@ -48,13 +53,12 @@ class DataParallelTrainer {
 
   std::size_t num_workers() const noexcept { return providers_.size(); }
   gnn::GnnModel& replica(std::size_t i) { return *models_[i]; }
+  const PipelineEngine& engine() const noexcept { return *engine_; }
 
   /// True when all replicas hold bitwise-close parameters (DDP invariant).
   bool replicas_in_sync(float tolerance = 1e-5f) const;
 
  private:
-  void all_reduce_grads();
-
   const graph::CsrGraph& graph_;
   std::vector<gnn::FeatureProvider*> providers_;
   std::vector<std::unique_ptr<gnn::GnnModel>> models_;
@@ -63,6 +67,7 @@ class DataParallelTrainer {
   std::vector<std::vector<graph::VertexId>> partitions_;
   std::uint64_t seed_;
   std::uint64_t epoch_counter_ = 0;
+  std::unique_ptr<PipelineEngine> engine_;
 };
 
 }  // namespace moment::runtime

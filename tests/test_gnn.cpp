@@ -318,6 +318,47 @@ TEST(Model, ForwardProducesSeedLogits) {
   }
 }
 
+TEST(Features, AsyncProtocolFallsBackToSync) {
+  // InMemoryFeatures uses the base-class fallback: gather_begin completes
+  // the gather immediately and reports a synchronous ticket.
+  Tensor feats(16, 4);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      feats.at(r, c) = static_cast<float>(r * 10 + c);
+    }
+  }
+  InMemoryFeatures provider(feats);
+  const std::vector<graph::VertexId> vs = {3, 0, 15, 7};
+  Tensor sync_out(vs.size(), 4), async_out(vs.size(), 4);
+  provider.gather(vs, sync_out);
+  const auto ticket = provider.gather_begin(vs, async_out);
+  EXPECT_EQ(ticket, FeatureProvider::kSyncTicket);
+  // Already filled before wait — the engine may read it right away.
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(async_out.at(i, c), sync_out.at(i, c));
+    }
+  }
+  provider.gather_wait(ticket);  // no-op
+  EXPECT_FLOAT_EQ(async_out.at(0, 0), 30.0f);
+}
+
+TEST(Model, ConstParametersViewMatchesMutable) {
+  ModelConfig cfg;
+  cfg.in_dim = 8;
+  cfg.hidden_dim = 6;
+  cfg.num_classes = 4;
+  GnnModel model(cfg);
+  const GnnModel& cmodel = model;
+  const auto mut = model.parameters();
+  const auto view = cmodel.parameters();
+  ASSERT_EQ(mut.size(), view.size());
+  for (std::size_t i = 0; i < mut.size(); ++i) {
+    EXPECT_EQ(mut[i], view[i]);  // same underlying Param objects
+  }
+  EXPECT_EQ(model.num_parameters(), cmodel.num_parameters());
+}
+
 TEST(Synthetic, TaskIsLearnable) {
   // End-to-end: training on the synthetic task must beat chance clearly.
   graph::RmatParams gp;

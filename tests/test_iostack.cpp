@@ -5,6 +5,7 @@
 
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "gnn/synthetic.hpp"
@@ -35,6 +36,58 @@ TEST(SpscRing, FullAndEmpty) {
   EXPECT_TRUE(ring.pop(out));
   EXPECT_TRUE(ring.push(99));  // space again
   EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  // Depth 100 must not silently shrink to 64 — it rounds up to 128.
+  SpscRing<int> ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  for (int i = 0; i < 128; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(999));  // full at the rounded capacity
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 64u);  // historical default
+  // QueuePair::depth() reports the effective (rounded) capacity.
+  EXPECT_EQ(QueuePair(100).depth(), 128u);
+  EXPECT_EQ(QueuePair(256).depth(), 256u);
+}
+
+TEST(SpscRing, WraparoundAfterCapacityRounding) {
+  // Capacity 6 -> 8; cycle far past the index wrap point with a ring that
+  // is kept nearly full, exercising masked head/tail arithmetic.
+  SpscRing<int> ring(6);
+  ASSERT_EQ(ring.capacity(), 8u);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.push(next_in)) ++next_in;
+    EXPECT_EQ(ring.size(), 8u);
+    int v;
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(ring.pop(v));
+      EXPECT_EQ(v, next_out++);
+    }
+  }
+}
+
+TEST(SpscRing, ConcurrentNonPowerOfTwoCapacity) {
+  // Producer/consumer stress through a rounded (100 -> 128) ring.
+  SpscRing<std::uint64_t> ring(100);
+  constexpr std::uint64_t kN = 100000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (ring.push(i)) ++i;
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    std::uint64_t v;
+    if (ring.pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
 }
 
 TEST(SpscRing, ConcurrentProducerConsumer) {
@@ -178,6 +231,68 @@ TEST(IoEngine, BackpressureWhenQueueFull) {
   array.stop_all();
 }
 
+TEST(IoEngine, CompletionGroupsAwaitIndependently) {
+  // Two read batches in flight at once; each group completes on its own.
+  constexpr std::size_t kPages = 32;
+  SsdOptions opts;
+  opts.capacity_bytes = kPages * kPageBytes;
+  SsdArray array(1, opts);
+  for (std::size_t p = 0; p < kPages; ++p) {
+    std::vector<std::byte> page(kPageBytes, static_cast<std::byte>(p));
+    array.ssd(0).write(p * kPageBytes, page.data(), page.size());
+  }
+  IoEngine engine(array);
+  array.start_all();
+
+  std::vector<std::byte> buf_a(8 * kPageBytes), buf_b(8 * kPageBytes);
+  const std::uint64_t ga = engine.group_begin();
+  for (int i = 0; i < 8; ++i) {
+    engine.submit_read(0, static_cast<std::uint64_t>(i) * kPageBytes,
+                       static_cast<std::uint32_t>(kPageBytes),
+                       buf_a.data() + static_cast<std::size_t>(i) * kPageBytes);
+  }
+  engine.group_end(ga);
+  const std::uint64_t gb = engine.group_begin();
+  for (int i = 0; i < 8; ++i) {
+    engine.submit_read(0, static_cast<std::uint64_t>(8 + i) * kPageBytes,
+                       static_cast<std::uint32_t>(kPageBytes),
+                       buf_b.data() + static_cast<std::size_t>(i) * kPageBytes);
+  }
+  engine.group_end(gb);
+
+  // Waiting out of submission order must work too.
+  EXPECT_EQ(engine.wait_group(gb), 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf_b[static_cast<std::size_t>(i) * kPageBytes],
+              static_cast<std::byte>(8 + i));
+  }
+  EXPECT_EQ(engine.wait_group(ga), 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf_a[static_cast<std::size_t>(i) * kPageBytes],
+              static_cast<std::byte>(i));
+  }
+  array.stop_all();
+}
+
+TEST(IoEngine, GroupFailuresAreAttributed) {
+  SsdOptions opts;
+  opts.capacity_bytes = 4 * kPageBytes;
+  SsdArray array(1, opts);
+  IoEngine engine(array);
+  array.start_all();
+  std::vector<std::byte> buf(2 * kPageBytes);
+  const std::uint64_t ok = engine.group_begin();
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes), buf.data());
+  engine.group_end(ok);
+  const std::uint64_t bad = engine.group_begin();
+  engine.submit_read(0, 100 * kPageBytes, static_cast<std::uint32_t>(kPageBytes),
+                     buf.data() + kPageBytes);
+  engine.group_end(bad);
+  EXPECT_EQ(engine.wait_group(ok), 0u);
+  EXPECT_EQ(engine.wait_group(bad), 1u);
+  array.stop_all();
+}
+
 TEST(SsdDevice, PacingLimitsThroughput) {
   SsdOptions opts;
   opts.capacity_bytes = 64 * kPageBytes;
@@ -248,6 +363,112 @@ TEST(FeatureStore, RoundTripsThroughAllTiers) {
   EXPECT_GT(stats.ssd_reads, 0u);
   EXPECT_EQ(stats.gpu_hits + stats.cpu_hits + stats.ssd_reads,
             vertices.size());
+}
+
+TEST(FeatureStore, AsyncGatherMatchesSyncAcrossTiers) {
+  graph::RmatParams gp;
+  gp.num_vertices = 256;
+  gp.num_edges = 1500;
+  const auto g = graph::generate_rmat(gp);
+  const auto task = gnn::make_synthetic_task(g, 4, 12, 0.2, 17);
+  std::vector<BinBacking> bins = {
+      {BinBacking::Kind::kGpuCache, -1},
+      {BinBacking::Kind::kCpuCache, -1},
+      {BinBacking::Kind::kSsd, 0},
+      {BinBacking::Kind::kSsd, 1},
+  };
+  std::vector<std::int32_t> bin_of_vertex(256);
+  for (std::size_t v = 0; v < 256; ++v) {
+    if (v < 16) bin_of_vertex[v] = 0;
+    else if (v < 32) bin_of_vertex[v] = 1;
+    else bin_of_vertex[v] = 2 + static_cast<std::int32_t>(v % 2);
+  }
+  SsdOptions opts;
+  opts.capacity_bytes = 1ull << 20;
+  SsdArray array(2, opts);
+  TieredFeatureStore store(task.features, bin_of_vertex, bins, array);
+  TieredFeatureClient client(store);
+  array.start_all();
+
+  std::vector<graph::VertexId> a, b;
+  for (graph::VertexId v = 0; v < 256; v += 3) a.push_back(v);
+  for (graph::VertexId v = 1; v < 256; v += 5) b.push_back(v);
+
+  gnn::Tensor sync_a(a.size(), 12), sync_b(b.size(), 12);
+  client.gather(a, sync_a);
+  client.gather(b, sync_b);
+
+  // Two async gathers in flight at once, completed out of order.
+  gnn::Tensor async_a(a.size(), 12), async_b(b.size(), 12);
+  const auto ta = client.gather_begin(a, async_a);
+  const auto tb = client.gather_begin(b, async_b);
+  EXPECT_NE(ta, gnn::FeatureProvider::kSyncTicket);
+  EXPECT_NE(tb, gnn::FeatureProvider::kSyncTicket);
+  client.gather_wait(tb);
+  client.gather_wait(ta);
+  array.stop_all();
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      ASSERT_FLOAT_EQ(async_a.at(i, c), sync_a.at(i, c)) << "vertex " << a[i];
+      ASSERT_FLOAT_EQ(async_a.at(i, c), task.features.at(a[i], c));
+    }
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      ASSERT_FLOAT_EQ(async_b.at(i, c), sync_b.at(i, c)) << "vertex " << b[i];
+    }
+  }
+}
+
+TEST(FeatureStore, CacheOnlyGatherCompletesInsideBegin) {
+  graph::RmatParams gp;
+  gp.num_vertices = 32;
+  gp.num_edges = 64;
+  const auto g = graph::generate_rmat(gp);
+  const auto task = gnn::make_synthetic_task(g, 2, 8, 0.1, 1);
+  std::vector<BinBacking> bins = {{BinBacking::Kind::kCpuCache, -1}};
+  std::vector<std::int32_t> bov(32, 0);
+  SsdOptions opts;
+  SsdArray array(1, opts);
+  TieredFeatureStore store(task.features, bov, bins, array);
+  TieredFeatureClient client(store);
+  // No SSD rows: the gather is served entirely from the cache tier and the
+  // ticket reports synchronous completion (no SSD reads, array not started).
+  std::vector<graph::VertexId> vs = {0, 5, 9, 31};
+  gnn::Tensor out(vs.size(), 8);
+  const auto ticket = client.gather_begin(vs, out);
+  EXPECT_EQ(ticket, gnn::FeatureProvider::kSyncTicket);
+  client.gather_wait(ticket);  // must be a no-op
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      ASSERT_FLOAT_EQ(out.at(i, c), task.features.at(vs[i], c));
+    }
+  }
+}
+
+TEST(FeatureStore, ThirdInFlightGatherRejected) {
+  graph::RmatParams gp;
+  gp.num_vertices = 64;
+  gp.num_edges = 128;
+  const auto g = graph::generate_rmat(gp);
+  const auto task = gnn::make_synthetic_task(g, 2, 8, 0.1, 2);
+  std::vector<BinBacking> bins = {{BinBacking::Kind::kSsd, 0}};
+  std::vector<std::int32_t> bov(64, 0);
+  SsdOptions opts;
+  opts.capacity_bytes = 1ull << 20;
+  SsdArray array(1, opts);
+  TieredFeatureStore store(task.features, bov, bins, array);
+  TieredFeatureClient client(store);
+  array.start_all();
+  std::vector<graph::VertexId> vs = {1, 2, 3};
+  gnn::Tensor o1(3, 8), o2(3, 8), o3(3, 8);
+  const auto t1 = client.gather_begin(vs, o1);
+  const auto t2 = client.gather_begin(vs, o2);
+  EXPECT_THROW(client.gather_begin(vs, o3), std::logic_error);
+  client.gather_wait(t1);
+  client.gather_wait(t2);
+  array.stop_all();
 }
 
 TEST(FeatureStore, RowsArePageAligned) {
