@@ -3,6 +3,7 @@
 // from a SampledSubgraph, mirroring DGL's `to_block`. blocks[0] is applied
 // first (widest frontier, raw features); blocks.back() produces seed outputs.
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,38 @@
 namespace moment::gnn {
 
 using graph::VertexId;
+
+/// Per-destination CSR view of a Block's edge list, compiled once per sampled
+/// block and shared by every layer invocation on it (SAGE/GCN aggregation,
+/// GAT attention, and all their backward passes). Both directions are
+/// materialised so forward passes can parallelise race-free over dst rows and
+/// backward passes over src rows.
+struct CompiledBlock {
+  /// Forward CSR: neighbors of dst i are src_of[dst_off[i] .. dst_off[i+1]),
+  /// sorted ascending. Positions in src_of define the "CSR edge id" that
+  /// layers use to index per-edge saved state (GAT alpha, GCN coeffs).
+  std::vector<int> dst_off;   // num_dst + 1
+  std::vector<int> src_of;    // num_edges
+  std::vector<float> inv_deg; // num_dst; 1/degree, 0 for isolated dsts
+  /// Reverse CSR: CSR edge ids entering src v are
+  /// rev_edge[src_off[v] .. src_off[v+1]); dst_of maps a CSR edge id back to
+  /// its destination row.
+  std::vector<int> src_off;   // num_src + 1
+  std::vector<int> rev_edge;  // num_edges
+  std::vector<int> dst_of;    // num_edges
+  /// src_to_dst[v] = dst index of src v when the vertex is also a dst
+  /// (self-feature row), else -1. Injective over valid entries.
+  std::vector<int> src_to_dst;  // num_src
+  /// self_src[i] = src row holding dst i's own features (= dst_in_src).
+  std::vector<int> self_src;  // num_dst
+
+  std::size_t num_dst() const noexcept { return inv_deg.size(); }
+  std::size_t num_src() const noexcept { return src_to_dst.size(); }
+  std::size_t num_edges() const noexcept { return src_of.size(); }
+  int degree(std::size_t dst) const noexcept {
+    return dst_off[dst + 1] - dst_off[dst];
+  }
+};
 
 struct Block {
   std::vector<VertexId> src_ids;  // sorted global vertex ids
@@ -22,7 +55,19 @@ struct Block {
 
   std::size_t num_src() const noexcept { return src_ids.size(); }
   std::size_t num_dst() const noexcept { return dst_ids.size(); }
+
+  /// CSR compilation of `edges`, built lazily on first use and cached (copies
+  /// of the block share the cache). The block's index fields must not change
+  /// after the first call; not thread-safe — each block belongs to exactly
+  /// one worker, which is the engine's ownership model.
+  const CompiledBlock& compiled() const;
+
+ private:
+  mutable std::shared_ptr<const CompiledBlock> compiled_;
 };
+
+/// Standalone CSR compilation (also used by tests and the kernel bench).
+CompiledBlock compile_block(const Block& block);
 
 /// Builds application-ordered blocks. blocks[k] corresponds to sampled hop
 /// (L-1-k): its dst set is that hop's frontier, its src set the next wider

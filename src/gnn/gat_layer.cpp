@@ -1,8 +1,11 @@
 #include "gnn/gat_layer.hpp"
 
 #include <cmath>
-#include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "gnn/kernels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace moment::gnn {
 
@@ -24,75 +27,61 @@ GatLayer::GatLayer(std::size_t in_dim, std::size_t num_heads,
       attn_r_("attn_r", Tensor::glorot(num_heads, head_dim, rng)),
       bias_("bias", Tensor::zeros(1, num_heads * head_dim)) {}
 
+void GatLayer::project_head(std::size_t h, std::vector<float>& pl,
+                            std::vector<float>& pr) const {
+  const std::size_t ns = saved_z_.rows();
+  const std::size_t od = out_dim();
+  const std::size_t off = h * head_dim_;
+  const float* al = attn_l_.value.data() + h * head_dim_;
+  const float* ar = attn_r_.value.data() + h * head_dim_;
+  pl.resize(ns);
+  pr.resize(ns);
+  util::parallel_for(
+      util::compute_pool(), 0, ns, kernels::kRowGrain * 4,
+      [&](std::size_t v0, std::size_t v1) {
+        for (std::size_t v = v0; v < v1; ++v) {
+          const float* z = saved_z_.data() + v * od + off;
+          float l = 0.0f, r = 0.0f;
+          for (std::size_t c = 0; c < head_dim_; ++c) {
+            l += al[c] * z[c];
+            r += ar[c] * z[c];
+          }
+          pl[v] = l;
+          pr[v] = r;
+        }
+      });
+}
+
 Tensor GatLayer::forward(const Block& block, const Tensor& x_src) {
   if (x_src.rows() != block.num_src() || x_src.cols() != in_dim_) {
     throw std::invalid_argument("GatLayer::forward: x_src shape mismatch");
   }
+  const CompiledBlock& cb = block.compiled();
   const std::size_t nd = block.num_dst();
-  const std::size_t ne = block.edges.size();
+  const std::size_t ne = cb.num_edges();
   const std::size_t od = out_dim();
 
   saved_x_src_ = x_src;
   saved_z_ = Tensor(block.num_src(), od);
   matmul(x_src, w_.value, saved_z_);
 
-  edges_by_dst_.assign(nd, {});
-  for (std::size_t e = 0; e < ne; ++e) {
-    edges_by_dst_[static_cast<std::size_t>(block.edges[e].first)].push_back(
-        static_cast<int>(e));
-  }
-
+  // Per-(CSR edge, head) attention state, interleaved head-minor so each
+  // head's kernel call strides by num_heads_.
   saved_score_.assign(ne * num_heads_, 0.0f);
   saved_alpha_.assign(ne * num_heads_, 0.0f);
   saved_pre_ = Tensor(nd, od);
 
+  std::vector<float> pl, pr, el(nd);
   for (std::size_t h = 0; h < num_heads_; ++h) {
     const std::size_t off = h * head_dim_;
-    // Per-vertex attention projections a_l . z and a_r . z.
-    std::vector<float> proj_l(block.num_src()), proj_r(block.num_src());
-    for (std::size_t v = 0; v < block.num_src(); ++v) {
-      const float* z = saved_z_.data() + v * od + off;
-      float pl = 0.0f, pr = 0.0f;
-      for (std::size_t c = 0; c < head_dim_; ++c) {
-        pl += attn_l_.value.at(h, c) * z[c];
-        pr += attn_r_.value.at(h, c) * z[c];
-      }
-      proj_l[v] = pl;
-      proj_r[v] = pr;
-    }
-
+    project_head(h, pl, pr);
     for (std::size_t i = 0; i < nd; ++i) {
-      const auto self = static_cast<std::size_t>(block.dst_in_src[i]);
-      const auto& edge_list = edges_by_dst_[i];
-      if (edge_list.empty()) continue;
-      // Scores, with numeric-stability max subtraction inside the softmax.
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int e : edge_list) {
-        const auto src =
-            static_cast<std::size_t>(block.edges[static_cast<std::size_t>(e)].second);
-        const float s = proj_l[self] + proj_r[src];
-        saved_score_[static_cast<std::size_t>(e) * num_heads_ + h] = s;
-        mx = std::max(mx, leaky_relu_scalar(s, kLeakySlope));
-      }
-      float denom = 0.0f;
-      for (int e : edge_list) {
-        const float s =
-            saved_score_[static_cast<std::size_t>(e) * num_heads_ + h];
-        const float a = std::exp(leaky_relu_scalar(s, kLeakySlope) - mx);
-        saved_alpha_[static_cast<std::size_t>(e) * num_heads_ + h] = a;
-        denom += a;
-      }
-      const float inv = 1.0f / denom;
-      float* out = saved_pre_.data() + i * od + off;
-      for (int e : edge_list) {
-        const auto ei = static_cast<std::size_t>(e);
-        saved_alpha_[ei * num_heads_ + h] *= inv;
-        const float a = saved_alpha_[ei * num_heads_ + h];
-        const auto src = static_cast<std::size_t>(block.edges[ei].second);
-        const float* z = saved_z_.data() + src * od + off;
-        for (std::size_t c = 0; c < head_dim_; ++c) out[c] += a * z[c];
-      }
+      el[i] = pl[static_cast<std::size_t>(cb.self_src[i])];
     }
+    kernels::gat_attention_forward(
+        cb, el.data(), pr.data(), saved_z_.data() + off, od, head_dim_,
+        kLeakySlope, num_heads_, saved_score_.data() + h,
+        saved_alpha_.data() + h, saved_pre_.data() + off);
   }
 
   add_bias(saved_pre_, bias_.value);
@@ -107,7 +96,10 @@ Tensor GatLayer::forward(const Block& block, const Tensor& x_src) {
 }
 
 Tensor GatLayer::backward(const Block& block, const Tensor& grad_out) {
+  const CompiledBlock& cb = block.compiled();
   const std::size_t nd = block.num_dst();
+  const std::size_t ne = cb.num_edges();
+  const std::size_t ns = block.num_src();
   const std::size_t od = out_dim();
   if (grad_out.rows() != nd || grad_out.cols() != od) {
     throw std::invalid_argument("GatLayer::backward: grad shape mismatch");
@@ -120,69 +112,58 @@ Tensor GatLayer::backward(const Block& block, const Tensor& grad_out) {
   }
   bias_grad(grad, bias_.grad);
 
-  Tensor grad_z(block.num_src(), od);
+  Tensor grad_z(ns, od);
+  std::vector<float> ds(ne * num_heads_, 0.0f);
+  std::vector<float> del(nd), der(ns);
 
   for (std::size_t h = 0; h < num_heads_; ++h) {
     const std::size_t off = h * head_dim_;
+    const float* g = grad.data() + off;
+    const float* z = saved_z_.data() + off;
 
-    // Recompute per-vertex projections (cheap, avoids storing them).
-    std::vector<float> proj_grad_l(block.num_src(), 0.0f);
-    std::vector<float> proj_grad_r(block.num_src(), 0.0f);
+    // Pass 1 (parallel over dst): per-edge score gradient + per-dst logit
+    // gradient. Pass 2 (parallel over src): aggregation term into grad_z and
+    // the per-src logit gradient.
+    kernels::gat_attention_backward_dst(cb, g, z, od, head_dim_, kLeakySlope,
+                                        num_heads_, saved_score_.data() + h,
+                                        saved_alpha_.data() + h, ds.data() + h,
+                                        del.data());
+    kernels::gat_attention_backward_src(cb, g, od, head_dim_, num_heads_,
+                                        saved_alpha_.data() + h, ds.data() + h,
+                                        der.data(), grad_z.data() + off);
 
+    // el[i] = attn_l . z[self];  er[v] = attn_r . z[v]. Fold the logit
+    // gradients into attn grads and grad_z. Serial: O((nd + ns) * head_dim).
+    const float* al = attn_l_.value.data() + h * head_dim_;
+    const float* ar = attn_r_.value.data() + h * head_dim_;
+    float* gal = attn_l_.grad.data() + h * head_dim_;
+    float* gar = attn_r_.grad.data() + h * head_dim_;
     for (std::size_t i = 0; i < nd; ++i) {
-      const auto& edge_list = edges_by_dst_[i];
-      if (edge_list.empty()) continue;
-      const float* g = grad.data() + i * od + off;
-
-      // d alpha_e = g . z_src ; softmax backward needs sum_k alpha_k dalpha_k.
-      float weighted = 0.0f;
-      std::vector<float> dalpha(edge_list.size());
-      for (std::size_t k = 0; k < edge_list.size(); ++k) {
-        const auto ei = static_cast<std::size_t>(edge_list[k]);
-        const auto src = static_cast<std::size_t>(block.edges[ei].second);
-        const float* z = saved_z_.data() + src * od + off;
-        float da = 0.0f;
-        for (std::size_t c = 0; c < head_dim_; ++c) da += g[c] * z[c];
-        dalpha[k] = da;
-        weighted += saved_alpha_[ei * num_heads_ + h] * da;
-        // dZ_src += alpha * g (the aggregation term).
-        float* gz = grad_z.data() + src * od + off;
-        const float a = saved_alpha_[ei * num_heads_ + h];
-        for (std::size_t c = 0; c < head_dim_; ++c) gz[c] += a * g[c];
-      }
-
-      const auto self = static_cast<std::size_t>(block.dst_in_src[i]);
-      for (std::size_t k = 0; k < edge_list.size(); ++k) {
-        const auto ei = static_cast<std::size_t>(edge_list[k]);
-        const float a = saved_alpha_[ei * num_heads_ + h];
-        const float de = a * (dalpha[k] - weighted);  // softmax backward
-        const float s = saved_score_[ei * num_heads_ + h];
-        const float ds = de * (s > 0.0f ? 1.0f : kLeakySlope);
-        proj_grad_l[self] += ds;
-        const auto src = static_cast<std::size_t>(block.edges[ei].second);
-        proj_grad_r[src] += ds;
+      const float gl = del[i];
+      if (gl == 0.0f) continue;
+      const auto self = static_cast<std::size_t>(cb.self_src[i]);
+      const float* zr = z + self * od;
+      float* gz = grad_z.data() + self * od + off;
+      for (std::size_t c = 0; c < head_dim_; ++c) {
+        gal[c] += gl * zr[c];
+        gz[c] += gl * al[c];
       }
     }
-
-    // proj_l = attn_l . z  =>  d attn_l += sum_v proj_grad_l[v] * z_v,
-    //                          dZ_v     += proj_grad_l[v] * attn_l.
-    for (std::size_t v = 0; v < block.num_src(); ++v) {
-      const float gl = proj_grad_l[v];
-      const float gr = proj_grad_r[v];
-      if (gl == 0.0f && gr == 0.0f) continue;
-      const float* z = saved_z_.data() + v * od + off;
+    for (std::size_t v = 0; v < ns; ++v) {
+      const float gr = der[v];
+      if (gr == 0.0f) continue;
+      const float* zr = z + v * od;
       float* gz = grad_z.data() + v * od + off;
       for (std::size_t c = 0; c < head_dim_; ++c) {
-        attn_l_.grad.at(h, c) += gl * z[c];
-        attn_r_.grad.at(h, c) += gr * z[c];
-        gz[c] += gl * attn_l_.value.at(h, c) + gr * attn_r_.value.at(h, c);
+        gar[c] += gr * zr[c];
+        gz[c] += gr * ar[c];
       }
     }
   }
 
   // Z = X W: accumulate dW and dX.
   matmul_at(saved_x_src_, grad_z, w_.grad, /*accumulate=*/true);
-  Tensor grad_x(block.num_src(), in_dim_);
+  Tensor grad_x(ns, in_dim_);
   matmul_bt(grad_z, w_.value, grad_x);
   return grad_x;
 }

@@ -33,6 +33,10 @@ class GatLayer final : public Module {
   static constexpr float kLeakySlope = 0.2f;
 
  private:
+  /// Per-src attention logits a_l . z and a_r . z for head h.
+  void project_head(std::size_t h, std::vector<float>& pl,
+                    std::vector<float>& pr) const;
+
   std::size_t in_dim_, num_heads_, head_dim_;
   bool apply_elu_;
   Param w_;       // (in_dim x heads*head_dim), heads column-blocked
@@ -40,13 +44,14 @@ class GatLayer final : public Module {
   Param attn_r_;  // (heads x head_dim)
   Param bias_;    // (1 x heads*head_dim)
 
-  // Saved state for backward.
+  // Saved state for backward. Per-edge state is indexed by the CSR edge id of
+  // block.compiled() (head-minor: edge * num_heads + head) — the per-dst
+  // adjacency comes from the shared CompiledBlock, not a layer-local copy.
   Tensor saved_x_src_;
   Tensor saved_z_;               // (num_src x heads*head_dim)
   Tensor saved_pre_;             // pre-ELU output (num_dst x heads*head_dim)
-  std::vector<float> saved_alpha_;   // per (edge, head)
-  std::vector<float> saved_score_;   // pre-LeakyReLU logits per (edge, head)
-  std::vector<std::vector<int>> edges_by_dst_;  // edge indices grouped by dst
+  std::vector<float> saved_alpha_;   // per (CSR edge, head)
+  std::vector<float> saved_score_;   // pre-LeakyReLU logits per (CSR edge, head)
 };
 
 /// ELU and its derivative (alpha = 1).

@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "gnn/kernels.hpp"
 
 namespace moment::gnn {
 
@@ -12,53 +13,40 @@ GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu,
       w_("w", Tensor::glorot(in_dim, out_dim, rng)),
       bias_("bias", Tensor::zeros(1, out_dim)) {}
 
-std::vector<double> GcnLayer::dst_degree(const Block& block) const {
-  std::vector<double> deg(block.num_dst(), 1.0);  // self loop
-  for (const auto& [dst, src] : block.edges) {
-    (void)src;
-    deg[static_cast<std::size_t>(dst)] += 1.0;
-  }
-  return deg;
-}
-
 Tensor GcnLayer::forward(const Block& block, const Tensor& x_src) {
   if (x_src.rows() != block.num_src() || x_src.cols() != in_dim_) {
     throw std::invalid_argument("GcnLayer::forward: x_src shape mismatch");
   }
+  const CompiledBlock& cb = block.compiled();
   const std::size_t nd = block.num_dst();
-  const std::vector<double> deg = dst_degree(block);
+  const std::size_t ne = cb.num_edges();
 
-  // Source-side degree: a source that is also a dst uses its dst degree;
-  // frontier-only sources count as degree 1 (their in-block fan-in is not
-  // sampled). Build the lookup once.
-  std::unordered_map<int, std::size_t> src_to_dst;
+  // In-block degree (+1 self loop) per dst. A source that is also a dst uses
+  // its dst degree; frontier-only sources count as degree 1 (their in-block
+  // fan-in is not sampled).
+  std::vector<double> deg(nd);
   for (std::size_t i = 0; i < nd; ++i) {
-    src_to_dst.emplace(block.dst_in_src[i], i);
+    deg[i] = 1.0 + static_cast<double>(cb.degree(i));
   }
-  auto src_deg = [&](int src_local) {
-    const auto it = src_to_dst.find(src_local);
-    return it == src_to_dst.end() ? 1.0 : deg[it->second];
-  };
+
+  // Normalisation coefficients, indexed by CSR edge id (self coefficients
+  // appended), so backward can replay them through the reverse CSR.
+  saved_coeff_.assign(ne + nd, 0.0f);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const int b = cb.dst_off[i], e = cb.dst_off[i + 1];
+    for (int t = b; t < e; ++t) {
+      const int sd = cb.src_to_dst[static_cast<std::size_t>(cb.src_of[t])];
+      const double src_deg = sd >= 0 ? deg[static_cast<std::size_t>(sd)] : 1.0;
+      saved_coeff_[static_cast<std::size_t>(t)] =
+          static_cast<float>(1.0 / std::sqrt(deg[i] * src_deg));
+    }
+    // 1/sqrt(d_i * d_i) for the self loop.
+    saved_coeff_[ne + i] = static_cast<float>(1.0 / deg[i]);
+  }
 
   saved_agg_ = Tensor(nd, in_dim_);
-  saved_coeff_.assign(block.edges.size() + nd, 0.0f);
-  for (std::size_t e = 0; e < block.edges.size(); ++e) {
-    const auto [dst, src] = block.edges[e];
-    const auto d = static_cast<std::size_t>(dst);
-    const float c = static_cast<float>(
-        1.0 / std::sqrt(deg[d] * src_deg(src)));
-    saved_coeff_[e] = c;
-    const auto row = x_src.row(static_cast<std::size_t>(src));
-    auto agg = saved_agg_.row(d);
-    for (std::size_t k = 0; k < in_dim_; ++k) agg[k] += c * row[k];
-  }
-  for (std::size_t i = 0; i < nd; ++i) {
-    const float c = static_cast<float>(1.0 / deg[i]);  // 1/sqrt(d_i*d_i)
-    saved_coeff_[block.edges.size() + i] = c;
-    const auto row = x_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
-    auto agg = saved_agg_.row(i);
-    for (std::size_t k = 0; k < in_dim_; ++k) agg[k] += c * row[k];
-  }
+  kernels::aggregate_coeff(cb, saved_coeff_.data(), saved_coeff_.data() + ne,
+                           x_src.data(), in_dim_, saved_agg_.data());
 
   Tensor out(nd, out_dim_);
   matmul(saved_agg_, w_.value, out);
@@ -72,6 +60,7 @@ Tensor GcnLayer::backward(const Block& block, const Tensor& grad_out) {
   if (grad_out.rows() != block.num_dst() || grad_out.cols() != out_dim_) {
     throw std::invalid_argument("GcnLayer::backward: grad shape mismatch");
   }
+  const CompiledBlock& cb = block.compiled();
   Tensor grad = grad_out;
   if (apply_relu_) relu_backward(saved_out_, grad);
 
@@ -82,19 +71,9 @@ Tensor GcnLayer::backward(const Block& block, const Tensor& grad_out) {
   matmul_bt(grad, w_.value, grad_agg);
 
   Tensor grad_src(block.num_src(), in_dim_);
-  for (std::size_t e = 0; e < block.edges.size(); ++e) {
-    const auto [dst, src] = block.edges[e];
-    const float c = saved_coeff_[e];
-    const auto g = grad_agg.row(static_cast<std::size_t>(dst));
-    auto out = grad_src.row(static_cast<std::size_t>(src));
-    for (std::size_t k = 0; k < in_dim_; ++k) out[k] += c * g[k];
-  }
-  for (std::size_t i = 0; i < block.num_dst(); ++i) {
-    const float c = saved_coeff_[block.edges.size() + i];
-    const auto g = grad_agg.row(i);
-    auto out = grad_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
-    for (std::size_t k = 0; k < in_dim_; ++k) out[k] += c * g[k];
-  }
+  kernels::aggregate_coeff_grad(cb, saved_coeff_.data(),
+                                saved_coeff_.data() + cb.num_edges(),
+                                grad_agg.data(), in_dim_, grad_src.data());
   return grad_src;
 }
 

@@ -27,17 +27,15 @@ class GcnLayer final : public Module {
   std::size_t out_dim() const noexcept { return out_dim_; }
 
  private:
-  /// In-block degree (+1 self loop) per dst; src degrees approximated by the
-  /// dst degree when the src is also a dst, else 1 (frontier leaves).
-  std::vector<double> dst_degree(const Block& block) const;
-
   std::size_t in_dim_, out_dim_;
   bool apply_relu_;
   Param w_, bias_;
 
   Tensor saved_agg_;   // normalized aggregation (num_dst x in)
   Tensor saved_out_;   // post-activation
-  std::vector<float> saved_coeff_;  // per edge (+ per dst self coeff appended)
+  /// Indexed by CSR edge id (block.compiled()), with the per-dst self-loop
+  /// coefficients appended after the num_edges() edge entries.
+  std::vector<float> saved_coeff_;
 };
 
 }  // namespace moment::gnn

@@ -1,0 +1,461 @@
+#include "gnn/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/thread_pool.hpp"
+
+// This translation unit is compiled -O3 -funroll-loops (see CMakeLists.txt):
+// the inner j-loops below are written against __restrict panel pointers so
+// the auto-vectorizer can prove independence and emit packed FMAs.
+
+namespace moment::gnn::kernels {
+
+namespace {
+
+// c rows [r0, r1) of a (m x k) @ b (k x n). KC-blocked over k with a 4-row
+// register panel; per output row the k accumulation order is plain ascending
+// p, so the result is bitwise identical to the naive triple loop and
+// independent of how rows are grouped into panels or chunks.
+void gemm_rows(std::size_t r0, std::size_t r1, std::size_t k, std::size_t n,
+               const float* __restrict a, const float* __restrict b,
+               float* __restrict c, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+  }
+  for (std::size_t p0 = 0; p0 < k; p0 += kKcBlock) {
+    const std::size_t p1 = std::min(k, p0 + kKcBlock);
+    std::size_t i = r0;
+    for (; i + kRowPanel <= r1; i += kRowPanel) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* __restrict c0 = c + (i + 0) * n;
+      float* __restrict c1 = c + (i + 1) * n;
+      float* __restrict c2 = c + (i + 2) * n;
+      float* __restrict c3 = c + (i + 3) * n;
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        const float* __restrict br = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          c0[j] += v0 * br[j];
+          c1[j] += v1 * br[j];
+          c2[j] += v2 * br[j];
+          c3[j] += v3 * br[j];
+        }
+      }
+    }
+    for (; i < r1; ++i) {
+      const float* ai = a + i * k;
+      float* __restrict ci = c + i * n;
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float v = ai[p];
+        const float* __restrict br = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+      }
+    }
+  }
+}
+
+// c rows [r0, r1) of a (m x k) @ b^T with b (n x k). Dot products do not
+// auto-vectorize without reassociation, so throughput comes from 8
+// independent accumulator chains per j-block (ILP instead of SIMD).
+void gemm_bt_rows(std::size_t r0, std::size_t r1, std::size_t k, std::size_t n,
+                  const float* __restrict a, const float* __restrict b,
+                  float* __restrict c, bool accumulate) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* ai = a + i * k;
+    float* __restrict ci = c + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      const float* b4 = b + (j + 4) * k;
+      const float* b5 = b + (j + 5) * k;
+      const float* b6 = b + (j + 6) * k;
+      const float* b7 = b + (j + 7) * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+        s4 += av * b4[p];
+        s5 += av * b5[p];
+        s6 += av * b6[p];
+        s7 += av * b7[p];
+      }
+      if (accumulate) {
+        ci[j + 0] += s0; ci[j + 1] += s1; ci[j + 2] += s2; ci[j + 3] += s3;
+        ci[j + 4] += s4; ci[j + 5] += s5; ci[j + 6] += s6; ci[j + 7] += s7;
+      } else {
+        ci[j + 0] = s0; ci[j + 1] = s1; ci[j + 2] = s2; ci[j + 3] = s3;
+        ci[j + 4] = s4; ci[j + 5] = s5; ci[j + 6] = s6; ci[j + 7] = s7;
+      }
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      if (accumulate) {
+        ci[j] += s;
+      } else {
+        ci[j] = s;
+      }
+    }
+  }
+}
+
+// c rows [p0r, p1r) of a^T (k x m) @ b (m x n) with a stored (m x k). Rank-1
+// updates streamed over i; a 4-row output panel reads a[i][p..p+3] as one
+// contiguous chunk per step.
+void gemm_at_rows(std::size_t p0r, std::size_t p1r, std::size_t m,
+                  std::size_t k, std::size_t n, const float* __restrict a,
+                  const float* __restrict b, float* __restrict c,
+                  bool accumulate) {
+  if (!accumulate) {
+    std::memset(c + p0r * n, 0, (p1r - p0r) * n * sizeof(float));
+  }
+  std::size_t p = p0r;
+  for (; p + kRowPanel <= p1r; p += kRowPanel) {
+    float* __restrict c0 = c + (p + 0) * n;
+    float* __restrict c1 = c + (p + 1) * n;
+    float* __restrict c2 = c + (p + 2) * n;
+    float* __restrict c3 = c + (p + 3) * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* ar = a + i * k + p;
+      const float v0 = ar[0], v1 = ar[1], v2 = ar[2], v3 = ar[3];
+      const float* __restrict br = b + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c0[j] += v0 * br[j];
+        c1[j] += v1 * br[j];
+        c2[j] += v2 * br[j];
+        c3[j] += v3 * br[j];
+      }
+    }
+  }
+  for (; p < p1r; ++p) {
+    float* __restrict cp = c + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float v = a[i * k + p];
+      const float* __restrict br = b + i * n;
+      for (std::size_t j = 0; j < n; ++j) cp[j] += v * br[j];
+    }
+  }
+}
+
+inline const float* row(const float* x, std::size_t i, std::size_t dim) {
+  return x + i * dim;
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) {
+  util::parallel_for(util::compute_pool(), 0, m, kRowGrain,
+                     [&](std::size_t r0, std::size_t r1) {
+                       gemm_rows(r0, r1, k, n, a, b, c, accumulate);
+                     });
+}
+
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  util::parallel_for(util::compute_pool(), 0, m, kRowGrain,
+                     [&](std::size_t r0, std::size_t r1) {
+                       gemm_bt_rows(r0, r1, k, n, a, b, c, accumulate);
+                     });
+}
+
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // Output is k x n: parallelise over the k rows of c (columns of a).
+  util::parallel_for(util::compute_pool(), 0, k, kRowGrain,
+                     [&](std::size_t r0, std::size_t r1) {
+                       gemm_at_rows(r0, r1, m, k, n, a, b, c, accumulate);
+                     });
+}
+
+void aggregate_mean(const CompiledBlock& cb, const float* x, std::size_t dim,
+                    float* out) {
+  const int* __restrict src_of = cb.src_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_dst(), kRowGrain,
+      [&](std::size_t d0, std::size_t d1) {
+        for (std::size_t i = d0; i < d1; ++i) {
+          float* __restrict o = out + i * dim;
+          std::memset(o, 0, dim * sizeof(float));
+          const int b = cb.dst_off[i], e = cb.dst_off[i + 1];
+          int t = b;
+          // 4 neighbor rows per step plus prefetch of the next 4: the random
+          // feature-row reads are latency-bound, so overlapping misses is
+          // worth more than the extra adds.
+          for (; t + 4 <= e; t += 4) {
+            const float* __restrict s0 =
+                row(x, static_cast<std::size_t>(src_of[t + 0]), dim);
+            const float* __restrict s1 =
+                row(x, static_cast<std::size_t>(src_of[t + 1]), dim);
+            const float* __restrict s2 =
+                row(x, static_cast<std::size_t>(src_of[t + 2]), dim);
+            const float* __restrict s3 =
+                row(x, static_cast<std::size_t>(src_of[t + 3]), dim);
+            if (t + 8 <= e) {
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 4]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 5]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 6]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 7]), dim));
+            }
+            for (std::size_t j = 0; j < dim; ++j) {
+              o[j] += (s0[j] + s1[j]) + (s2[j] + s3[j]);
+            }
+          }
+          for (; t < e; ++t) {
+            const float* __restrict s =
+                row(x, static_cast<std::size_t>(src_of[t]), dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += s[j];
+          }
+          const float inv = cb.inv_deg[i];
+          for (std::size_t j = 0; j < dim; ++j) o[j] *= inv;
+        }
+      });
+}
+
+void aggregate_coeff(const CompiledBlock& cb, const float* edge_coeff,
+                     const float* self_coeff, const float* x, std::size_t dim,
+                     float* out) {
+  const int* __restrict src_of = cb.src_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_dst(), kRowGrain,
+      [&](std::size_t d0, std::size_t d1) {
+        for (std::size_t i = d0; i < d1; ++i) {
+          float* __restrict o = out + i * dim;
+          std::memset(o, 0, dim * sizeof(float));
+          const int b = cb.dst_off[i], e = cb.dst_off[i + 1];
+          int t = b;
+          for (; t + 4 <= e; t += 4) {
+            const float w0 = edge_coeff[t + 0], w1 = edge_coeff[t + 1];
+            const float w2 = edge_coeff[t + 2], w3 = edge_coeff[t + 3];
+            const float* __restrict s0 =
+                row(x, static_cast<std::size_t>(src_of[t + 0]), dim);
+            const float* __restrict s1 =
+                row(x, static_cast<std::size_t>(src_of[t + 1]), dim);
+            const float* __restrict s2 =
+                row(x, static_cast<std::size_t>(src_of[t + 2]), dim);
+            const float* __restrict s3 =
+                row(x, static_cast<std::size_t>(src_of[t + 3]), dim);
+            if (t + 8 <= e) {
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 4]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 5]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 6]), dim));
+              __builtin_prefetch(row(x, static_cast<std::size_t>(src_of[t + 7]), dim));
+            }
+            for (std::size_t j = 0; j < dim; ++j) {
+              o[j] += (w0 * s0[j] + w1 * s1[j]) + (w2 * s2[j] + w3 * s3[j]);
+            }
+          }
+          for (; t < e; ++t) {
+            const float w = edge_coeff[t];
+            const float* __restrict s =
+                row(x, static_cast<std::size_t>(src_of[t]), dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += w * s[j];
+          }
+          if (self_coeff != nullptr) {
+            const float w = self_coeff[i];
+            const float* __restrict s =
+                row(x, static_cast<std::size_t>(cb.self_src[i]), dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += w * s[j];
+          }
+        }
+      });
+}
+
+void aggregate_coeff_grad(const CompiledBlock& cb, const float* edge_coeff,
+                          const float* self_coeff, const float* g,
+                          std::size_t dim, float* grad_src) {
+  const int* __restrict rev_edge = cb.rev_edge.data();
+  const int* __restrict dst_of = cb.dst_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_src(), kRowGrain,
+      [&](std::size_t v0, std::size_t v1) {
+        for (std::size_t v = v0; v < v1; ++v) {
+          float* __restrict o = grad_src + v * dim;
+          std::memset(o, 0, dim * sizeof(float));
+          const int b = cb.src_off[v], e = cb.src_off[v + 1];
+          for (int t = b; t < e; ++t) {
+            const int ed = rev_edge[t];
+            const std::size_t d = static_cast<std::size_t>(dst_of[ed]);
+            if (t + 1 < e) {
+              __builtin_prefetch(
+                  row(g, static_cast<std::size_t>(dst_of[rev_edge[t + 1]]), dim));
+            }
+            const float w = edge_coeff[ed];
+            const float* __restrict gr = row(g, d, dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += w * gr[j];
+          }
+          const int sd = cb.src_to_dst[v];
+          if (self_coeff != nullptr && sd >= 0) {
+            const float w = self_coeff[sd];
+            const float* __restrict gr =
+                row(g, static_cast<std::size_t>(sd), dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += w * gr[j];
+          }
+        }
+      });
+}
+
+void sage_input_grad(const CompiledBlock& cb, const float* grad_self,
+                     const float* grad_mean, std::size_t dim,
+                     float* grad_src) {
+  const int* __restrict rev_edge = cb.rev_edge.data();
+  const int* __restrict dst_of = cb.dst_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_src(), kRowGrain,
+      [&](std::size_t v0, std::size_t v1) {
+        for (std::size_t v = v0; v < v1; ++v) {
+          float* __restrict o = grad_src + v * dim;
+          const int sd = cb.src_to_dst[v];
+          if (sd >= 0) {
+            std::memcpy(o, row(grad_self, static_cast<std::size_t>(sd), dim),
+                        dim * sizeof(float));
+          } else {
+            std::memset(o, 0, dim * sizeof(float));
+          }
+          const int b = cb.src_off[v], e = cb.src_off[v + 1];
+          for (int t = b; t < e; ++t) {
+            const std::size_t d = static_cast<std::size_t>(dst_of[rev_edge[t]]);
+            if (t + 1 < e) {
+              __builtin_prefetch(
+                  row(grad_mean, static_cast<std::size_t>(dst_of[rev_edge[t + 1]]),
+                      dim));
+            }
+            const float w = cb.inv_deg[d];
+            const float* __restrict gm = row(grad_mean, d, dim);
+            for (std::size_t j = 0; j < dim; ++j) o[j] += w * gm[j];
+          }
+        }
+      });
+}
+
+void gat_attention_forward(const CompiledBlock& cb, const float* el,
+                           const float* er, const float* z, std::size_t stride,
+                           std::size_t head_dim, float leaky_slope,
+                           std::size_t alpha_stride, float* score, float* alpha,
+                           float* out) {
+  const int* __restrict src_of = cb.src_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_dst(), kRowGrain,
+      [&](std::size_t d0, std::size_t d1) {
+        for (std::size_t i = d0; i < d1; ++i) {
+          float* __restrict o = out + i * stride;
+          std::memset(o, 0, head_dim * sizeof(float));
+          const int b = cb.dst_off[i], e = cb.dst_off[i + 1];
+          if (e == b) continue;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (int t = b; t < e; ++t) {
+            const float s = el[i] + er[src_of[t]];
+            score[static_cast<std::size_t>(t) * alpha_stride] = s;
+            const float act = s > 0.0f ? s : leaky_slope * s;
+            mx = std::max(mx, act);
+          }
+          float denom = 0.0f;
+          for (int t = b; t < e; ++t) {
+            const float s = score[static_cast<std::size_t>(t) * alpha_stride];
+            const float act = s > 0.0f ? s : leaky_slope * s;
+            const float w = std::exp(act - mx);
+            alpha[static_cast<std::size_t>(t) * alpha_stride] = w;
+            denom += w;
+          }
+          const float inv = 1.0f / denom;
+          for (int t = b; t < e; ++t) {
+            const float a = alpha[static_cast<std::size_t>(t) * alpha_stride] * inv;
+            alpha[static_cast<std::size_t>(t) * alpha_stride] = a;
+            const float* __restrict zr =
+                z + static_cast<std::size_t>(src_of[t]) * stride;
+            for (std::size_t j = 0; j < head_dim; ++j) o[j] += a * zr[j];
+          }
+        }
+      });
+}
+
+void gat_attention_backward_dst(const CompiledBlock& cb, const float* g,
+                                const float* z, std::size_t stride,
+                                std::size_t head_dim, float leaky_slope,
+                                std::size_t alpha_stride, const float* score,
+                                const float* alpha, float* ds, float* del) {
+  const int* __restrict src_of = cb.src_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_dst(), kRowGrain,
+      [&](std::size_t d0, std::size_t d1) {
+        for (std::size_t i = d0; i < d1; ++i) {
+          const int b = cb.dst_off[i], e = cb.dst_off[i + 1];
+          del[i] = 0.0f;
+          if (e == b) continue;
+          const float* __restrict gi = g + i * stride;
+          // t_e = g_i . z_src[e]; S = sum_e alpha_e t_e. Stash t_e in ds.
+          float sum = 0.0f;
+          for (int t = b; t < e; ++t) {
+            const float* __restrict zr =
+                z + static_cast<std::size_t>(src_of[t]) * stride;
+            float dot = 0.0f;
+            for (std::size_t j = 0; j < head_dim; ++j) dot += gi[j] * zr[j];
+            ds[static_cast<std::size_t>(t) * alpha_stride] = dot;
+            sum += alpha[static_cast<std::size_t>(t) * alpha_stride] * dot;
+          }
+          float acc = 0.0f;
+          for (int t = b; t < e; ++t) {
+            const std::size_t idx = static_cast<std::size_t>(t) * alpha_stride;
+            const float grad_act = alpha[idx] * (ds[idx] - sum);
+            const float lg = score[idx] > 0.0f ? 1.0f : leaky_slope;
+            ds[idx] = grad_act * lg;
+            acc += ds[idx];
+          }
+          del[i] = acc;
+        }
+      });
+}
+
+void gat_attention_backward_src(const CompiledBlock& cb, const float* g,
+                                std::size_t stride, std::size_t head_dim,
+                                std::size_t alpha_stride, const float* alpha,
+                                const float* ds, float* der, float* gz) {
+  const int* __restrict rev_edge = cb.rev_edge.data();
+  const int* __restrict dst_of = cb.dst_of.data();
+  util::parallel_for(
+      util::compute_pool(), 0, cb.num_src(), kRowGrain,
+      [&](std::size_t v0, std::size_t v1) {
+        for (std::size_t v = v0; v < v1; ++v) {
+          float* __restrict o = gz + v * stride;
+          float acc = 0.0f;
+          const int b = cb.src_off[v], e = cb.src_off[v + 1];
+          for (int t = b; t < e; ++t) {
+            const std::size_t ed = static_cast<std::size_t>(rev_edge[t]);
+            const std::size_t d = static_cast<std::size_t>(dst_of[ed]);
+            const float a = alpha[ed * alpha_stride];
+            acc += ds[ed * alpha_stride];
+            const float* __restrict gr = g + d * stride;
+            for (std::size_t j = 0; j < head_dim; ++j) o[j] += a * gr[j];
+          }
+          der[v] = acc;
+        }
+      });
+}
+
+void gather_rows(const int* index, std::size_t rows, const float* x,
+                 std::size_t dim, float* out) {
+  util::parallel_for(util::compute_pool(), 0, rows, kRowGrain * 4,
+                     [&](std::size_t r0, std::size_t r1) {
+                       for (std::size_t i = r0; i < r1; ++i) {
+                         std::memcpy(out + i * dim,
+                                     x + static_cast<std::size_t>(index[i]) * dim,
+                                     dim * sizeof(float));
+                       }
+                     });
+}
+
+}  // namespace moment::gnn::kernels

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gnn/kernels.hpp"
+
 namespace moment::gnn {
 
 SageLayer::SageLayer(std::size_t in_dim, std::size_t out_dim, bool apply_relu,
@@ -15,34 +17,14 @@ Tensor SageLayer::forward(const Block& block, const Tensor& x_src) {
   if (x_src.rows() != block.num_src() || x_src.cols() != in_dim_) {
     throw std::invalid_argument("SageLayer::forward: x_src shape mismatch");
   }
+  const CompiledBlock& cb = block.compiled();
   const std::size_t nd = block.num_dst();
 
-  // Gather self features and compute neighbor means.
   saved_x_dst_ = Tensor(nd, in_dim_);
+  kernels::gather_rows(cb.self_src.data(), nd, x_src.data(), in_dim_,
+                       saved_x_dst_.data());
   saved_mean_ = Tensor(nd, in_dim_);
-  std::vector<std::size_t> degree(nd, 0);
-  for (std::size_t i = 0; i < nd; ++i) {
-    const auto src_row =
-        x_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
-    std::copy(src_row.begin(), src_row.end(), saved_x_dst_.row(i).begin());
-  }
-  for (const auto& [dst, src] : block.edges) {
-    const auto d = static_cast<std::size_t>(dst);
-    const auto src_row = x_src.row(static_cast<std::size_t>(src));
-    auto mean_row = saved_mean_.row(d);
-    for (std::size_t c = 0; c < in_dim_; ++c) mean_row[c] += src_row[c];
-    ++degree[d];
-  }
-  saved_inv_degree_.assign(nd, 0.0f);
-  for (std::size_t i = 0; i < nd; ++i) {
-    if (degree[i] > 0) {
-      saved_inv_degree_[i] = 1.0f / static_cast<float>(degree[i]);
-      auto mean_row = saved_mean_.row(i);
-      for (std::size_t c = 0; c < in_dim_; ++c) {
-        mean_row[c] *= saved_inv_degree_[i];
-      }
-    }
-  }
+  kernels::aggregate_mean(cb, x_src.data(), in_dim_, saved_mean_.data());
 
   Tensor out(nd, out_dim_);
   matmul(saved_x_dst_, w_self_.value, out);
@@ -57,6 +39,7 @@ Tensor SageLayer::backward(const Block& block, const Tensor& grad_out) {
   if (grad_out.rows() != block.num_dst() || grad_out.cols() != out_dim_) {
     throw std::invalid_argument("SageLayer::backward: grad shape mismatch");
   }
+  const CompiledBlock& cb = block.compiled();
   Tensor grad = grad_out;
   if (apply_relu_) relu_backward(saved_out_, grad);
 
@@ -65,27 +48,17 @@ Tensor SageLayer::backward(const Block& block, const Tensor& grad_out) {
   matmul_at(saved_mean_, grad, w_neigh_.grad, /*accumulate=*/true);
   bias_grad(grad, bias_.grad);
 
-  // Input gradients: self part scatters to dst positions; neighbor part
-  // scatters grad @ W_neigh^T / degree along edges.
+  // Input gradients: the self part lands on each dst's own src row, the
+  // neighbor part fans grad @ W_neigh^T / degree back along the reverse CSR
+  // (race-free over src rows).
   Tensor grad_self(block.num_dst(), in_dim_);
   matmul_bt(grad, w_self_.value, grad_self);
   Tensor grad_mean(block.num_dst(), in_dim_);
   matmul_bt(grad, w_neigh_.value, grad_mean);
 
   Tensor grad_src(block.num_src(), in_dim_);
-  for (std::size_t i = 0; i < block.num_dst(); ++i) {
-    auto dst_row = grad_src.row(static_cast<std::size_t>(block.dst_in_src[i]));
-    const auto g = grad_self.row(i);
-    for (std::size_t c = 0; c < in_dim_; ++c) dst_row[c] += g[c];
-  }
-  for (const auto& [dst, src] : block.edges) {
-    const auto d = static_cast<std::size_t>(dst);
-    const float inv = saved_inv_degree_[d];
-    if (inv == 0.0f) continue;
-    auto src_row = grad_src.row(static_cast<std::size_t>(src));
-    const auto g = grad_mean.row(d);
-    for (std::size_t c = 0; c < in_dim_; ++c) src_row[c] += inv * g[c];
-  }
+  kernels::sage_input_grad(cb, grad_self.data(), grad_mean.data(), in_dim_,
+                           grad_src.data());
   return grad_src;
 }
 

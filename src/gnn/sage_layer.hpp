@@ -33,11 +33,10 @@ class SageLayer final : public Module {
   bool apply_relu_;
   Param w_self_, w_neigh_, bias_;
 
-  // Saved activations for backward.
+  // Saved activations for backward (degrees live in the block's CSR).
   Tensor saved_x_dst_;   // (num_dst x in)
   Tensor saved_mean_;    // (num_dst x in)
   Tensor saved_out_;     // (num_dst x out), post-activation
-  std::vector<float> saved_inv_degree_;  // per dst
 };
 
 }  // namespace moment::gnn

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gnn/kernels.hpp"
+
 namespace moment::gnn {
 
 Tensor Tensor::glorot(std::size_t rows, std::size_t cols, util::Pcg32& rng) {
@@ -49,53 +51,24 @@ void check_out(const Tensor& out, std::size_t m, std::size_t n) {
 void matmul(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dims");
   check_out(out, a.rows(), b.cols());
-  if (!accumulate) out.zero();
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = a.at(i, p);
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      float* orow = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm(a.rows(), a.cols(), b.cols(), a.data(), b.data(), out.data(),
+                accumulate);
 }
 
 void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
                bool accumulate) {
   if (a.cols() != b.cols()) throw std::invalid_argument("matmul_bt: dims");
   check_out(out, a.rows(), b.rows());
-  if (!accumulate) out.zero();
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += acc;
-    }
-  }
+  kernels::gemm_bt(a.rows(), a.cols(), b.rows(), a.data(), b.data(),
+                   out.data(), accumulate);
 }
 
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
                bool accumulate) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at: dims");
   check_out(out, a.cols(), b.cols());
-  if (!accumulate) out.zero();
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    const float* brow = b.data() + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* orow = out.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_at(a.rows(), a.cols(), b.cols(), a.data(), b.data(),
+                   out.data(), accumulate);
 }
 
 void add_bias(Tensor& x, const Tensor& bias) {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "topology/flow_graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace moment::placement {
 
@@ -31,31 +32,6 @@ bool lex_less(const Placement& a, const Placement& b) {
     return a.gpus_per_group < b.gpus_per_group;
   }
   return a.ssds_per_group < b.ssds_per_group;
-}
-
-/// Closes the automorphism generator set under composition (the machines we
-/// model have tiny groups, so fixpoint iteration is fine).
-std::vector<std::vector<int>> automorphism_group(const MachineSpec& spec) {
-  const auto n = spec.slot_groups.size();
-  std::vector<int> identity(n);
-  for (std::size_t i = 0; i < n; ++i) identity[i] = static_cast<int>(i);
-  std::set<std::vector<int>> group{identity};
-  for (const auto& g : spec.automorphisms) group.insert(g);
-  bool grew = true;
-  while (grew) {
-    grew = false;
-    std::vector<std::vector<int>> members(group.begin(), group.end());
-    for (const auto& a : members) {
-      for (const auto& b : members) {
-        std::vector<int> c(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          c[i] = a[static_cast<std::size_t>(b[i])];
-        }
-        if (group.insert(c).second) grew = true;
-      }
-    }
-  }
-  return {group.begin(), group.end()};
 }
 
 void enumerate_counts(const MachineSpec& spec, std::size_t group_idx,
@@ -87,13 +63,43 @@ void enumerate_counts(const MachineSpec& spec, std::size_t group_idx,
 
 }  // namespace
 
-Placement canonicalize(const MachineSpec& spec, const Placement& p) {
+std::vector<std::vector<int>> automorphism_group(const MachineSpec& spec) {
+  // Closes the declared generator set under composition (the machines we
+  // model have tiny groups, so fixpoint iteration is fine).
+  const auto n = spec.slot_groups.size();
+  std::vector<int> identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity[i] = static_cast<int>(i);
+  std::set<std::vector<int>> group{identity};
+  for (const auto& g : spec.automorphisms) group.insert(g);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    std::vector<std::vector<int>> members(group.begin(), group.end());
+    for (const auto& a : members) {
+      for (const auto& b : members) {
+        std::vector<int> c(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          c[i] = a[static_cast<std::size_t>(b[i])];
+        }
+        if (group.insert(c).second) grew = true;
+      }
+    }
+  }
+  return {group.begin(), group.end()};
+}
+
+Placement canonicalize(const Placement& p,
+                       const std::vector<std::vector<int>>& group) {
   Placement best = p;
-  for (const auto& perm : automorphism_group(spec)) {
+  for (const auto& perm : group) {
     const Placement candidate = permute(p, perm);
     if (lex_less(candidate, best)) best = candidate;
   }
   return best;
+}
+
+Placement canonicalize(const MachineSpec& spec, const Placement& p) {
+  return canonicalize(p, automorphism_group(spec));
 }
 
 std::string describe(const MachineSpec& spec, const Placement& p) {
@@ -146,12 +152,14 @@ SearchResult search_placements(const MachineSpec& spec,
   result.spec = &spec;
 
   const auto n = spec.slot_groups.size();
+  const auto group = automorphism_group(spec);  // once, not per candidate
   std::set<std::pair<std::vector<int>, std::vector<int>>> seen;
-  std::vector<CandidateResult> all;
 
   std::vector<int> gpu_counts(n, 0);
   std::vector<int> ssd_counts(n, 0);
 
+  // Phase 1 (serial): enumerate and dedup orbit-canonical placements.
+  std::vector<Placement> candidates;
   enumerate_counts(
       spec, 0, options.num_gpus, /*is_gpu=*/true, gpu_counts, gpu_counts,
       [&](const std::vector<int>& gpus) {
@@ -165,15 +173,29 @@ SearchResult search_placements(const MachineSpec& spec,
               p.ssds_per_group = ssds;
               p.nvlink = options.nvlink;
               if (options.use_symmetry_reduction) {
-                p = canonicalize(spec, p);
+                p = canonicalize(p, group);
               }
               if (!seen.insert({p.gpus_per_group, p.ssds_per_group}).second) {
                 return;  // orbit already evaluated
               }
               ++result.evaluated;
-              all.push_back(evaluate_placement(spec, p, options));
+              candidates.push_back(std::move(p));
             });
       });
+
+  // Phase 2: evaluate the independent max-flow predictions in parallel,
+  // each candidate writing its own slot; ranking below stays deterministic
+  // regardless of thread count.
+  std::vector<CandidateResult> all(candidates.size());
+  util::ThreadPool* pool =
+      options.eval_threads == 1 ? nullptr : util::compute_pool();
+  util::parallel_for(pool, 0, candidates.size(), 1,
+                     [&](std::size_t b, std::size_t e) {
+                       for (std::size_t i = b; i < e; ++i) {
+                         all[i] = evaluate_placement(spec, candidates[i],
+                                                     options);
+                       }
+                     });
 
   std::sort(all.begin(), all.end(),
             [](const CandidateResult& a, const CandidateResult& b) {

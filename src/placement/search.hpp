@@ -46,6 +46,11 @@ struct SearchOptions {
   /// Per-GPU-HBM byte supply (cache-hit bytes); negative = rate-limited.
   double gpu_hbm_bytes = -1.0;
   std::size_t keep_top = 8;
+  /// Candidate evaluation parallelism: 1 evaluates serially on the calling
+  /// thread; any other value fans the (independent) max-flow evaluations out
+  /// over the shared util::compute_pool(). The ranked result is identical
+  /// either way — candidates are collected first and written by index.
+  std::size_t eval_threads = 0;
 };
 
 struct SearchResult {
@@ -60,10 +65,20 @@ struct SearchResult {
 SearchResult search_placements(const topology::MachineSpec& spec,
                                const SearchOptions& options);
 
+/// The machine's slot-group automorphism group: the declared generators
+/// closed under composition, identity included. O(|group|^2) fixpoint
+/// iteration — compute it once per search, not per candidate.
+std::vector<std::vector<int>> automorphism_group(
+    const topology::MachineSpec& spec);
+
 /// Canonical representative of a placement under the machine's automorphism
-/// group (lexicographically smallest orbit member).
+/// group (lexicographically smallest orbit member). The (spec, p) overload
+/// recomputes the group; batch callers should hoist automorphism_group() and
+/// use the second form.
 topology::Placement canonicalize(const topology::MachineSpec& spec,
                                  const topology::Placement& p);
+topology::Placement canonicalize(const topology::Placement& p,
+                                 const std::vector<std::vector<int>>& group);
 
 /// One-line description, e.g. "GPUs: PLX0=2 PLX1=2 | SSDs: RC0=2 ...".
 std::string describe(const topology::MachineSpec& spec,

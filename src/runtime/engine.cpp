@@ -1,7 +1,6 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
-#include <future>
 #include <stdexcept>
 
 #include "gnn/block.hpp"
@@ -48,15 +47,6 @@ PipelineEngine::PipelineEngine(
   if (options_.pipeline_depth == 0) options_.pipeline_depth = 1;
   params_.reserve(workers);
   for (gnn::GnnModel* m : models_) params_.push_back(m->parameters());
-
-  std::size_t ar_threads = options_.allreduce_threads;
-  if (ar_threads == 0) {
-    ar_threads = std::min<std::size_t>(
-        workers, std::max(1u, std::thread::hardware_concurrency()));
-  }
-  if (ar_threads > 1 && params_[0].size() > 1) {
-    allreduce_pool_ = std::make_unique<util::ThreadPool>(ar_threads);
-  }
 
   worker_states_.resize(workers);
   workers_.reserve(workers);
@@ -216,21 +206,9 @@ void PipelineEngine::all_reduce_grads() {
     }
   };
 
-  if (!allreduce_pool_ || num_params < 2) {
-    reduce_range(0, num_params);
-    return;
-  }
-  const std::size_t chunks = std::min(allreduce_pool_->size(), num_params);
-  const std::size_t per_chunk = (num_params + chunks - 1) / chunks;
-  std::vector<std::future<void>> done;
-  done.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(num_params, begin + per_chunk);
-    if (begin >= end) break;
-    done.push_back(allreduce_pool_->submit(reduce_range, begin, end));
-  }
-  for (auto& f : done) f.get();
+  util::ThreadPool* pool =
+      options_.allreduce_threads == 1 ? nullptr : util::compute_pool();
+  util::parallel_for(pool, 0, num_params, 1, reduce_range);
 }
 
 EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,

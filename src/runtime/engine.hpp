@@ -73,8 +73,10 @@ struct EngineOptions {
   /// pre-pipelining reference; 2 = double-buffered prefetch: batch N+1 is
   /// sampled and its gather issued before batch N's gather completes.
   std::size_t pipeline_depth = 2;
-  /// Threads for the chunk-parallel gradient all-reduce; 0 = auto
-  /// (min(workers, hardware_concurrency)). 1 runs it inline.
+  /// Gradient all-reduce parallelism: 1 forces it inline on the coordinator;
+  /// anything else fans it out over the shared util::compute_pool() (which is
+  /// also what the GEMM/aggregation kernels use — the engine owns no pool of
+  /// its own).
   std::size_t allreduce_threads = 0;
 };
 
@@ -156,7 +158,6 @@ class PipelineEngine {
   EngineOptions options_;
 
   std::vector<std::vector<gnn::Param*>> params_;  // cached per replica
-  std::unique_ptr<util::ThreadPool> allreduce_pool_;
 
   // Worker lifecycle: workers park on cv_ between epochs; epoch_seq_ wakes
   // them, shutdown_ retires them. barrier_ has workers + coordinator parties.

@@ -1,6 +1,16 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
+
 namespace moment::util {
+
+namespace {
+
+/// Set for the lifetime of each worker thread; lets parallel_for detect a
+/// nested call from inside the same pool and fall back to inline execution.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -21,7 +31,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_current_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -47,6 +62,50 @@ void ThreadPool::worker_loop() {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+namespace {
+
+std::mutex g_compute_mu;
+std::unique_ptr<ThreadPool> g_compute_pool;
+std::size_t g_compute_threads = 0;  // 0 = not yet resolved
+bool g_compute_ready = false;
+
+std::size_t resolve_auto_threads() {
+  if (const char* env = std::getenv("MOMENT_COMPUTE_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(std::min(v, 16l));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
+}
+
+void rebuild_pool_locked(std::size_t n) {
+  g_compute_threads = n == 0 ? resolve_auto_threads() : std::min<std::size_t>(n, 64);
+  g_compute_pool.reset();  // joins old workers before spawning new ones
+  if (g_compute_threads > 1) {
+    g_compute_pool = std::make_unique<ThreadPool>(g_compute_threads);
+  }
+  g_compute_ready = true;
+}
+
+}  // namespace
+
+ThreadPool* compute_pool() {
+  std::lock_guard<std::mutex> lock(g_compute_mu);
+  if (!g_compute_ready) rebuild_pool_locked(0);
+  return g_compute_pool.get();
+}
+
+std::size_t compute_pool_threads() {
+  std::lock_guard<std::mutex> lock(g_compute_mu);
+  if (!g_compute_ready) rebuild_pool_locked(0);
+  return g_compute_threads;
+}
+
+void set_compute_pool_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_compute_mu);
+  rebuild_pool_locked(n);
 }
 
 }  // namespace moment::util

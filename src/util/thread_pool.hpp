@@ -1,10 +1,18 @@
 #pragma once
-// Fixed-size thread pool used by the IO stack (SSD backends) and the parallel
-// sections of the simulator. Tasks are type-erased std::function<void()>;
+// Fixed-size thread pool used by the IO stack (SSD backends), the parallel
+// sections of the simulator, and the compute kernels (gnn/kernels, gradient
+// all-reduce, placement search). Tasks are type-erased std::function<void()>;
 // submit() returns a std::future for result plumbing.
+//
+// `parallel_for` is the preferred way to fan a loop out over a pool: it
+// chunks the index range, runs the first chunk on the calling thread, and is
+// deadlock-safe when invoked from inside one of the pool's own workers (the
+// whole range then runs inline instead of re-entering the queue).
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -25,6 +33,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// parallel_for to avoid the submit-and-wait deadlock on nested calls.
+  bool on_worker_thread() const noexcept;
 
   /// Enqueue a task; returns a future for its result. Throws std::runtime_error
   /// if the pool is shutting down.
@@ -61,5 +73,69 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stopping_ = false;
 };
+
+/// Process-wide pool shared by the compute layers: GEMM/aggregation kernels
+/// (gnn/kernels), the engine's gradient all-reduce, and parallel placement
+/// evaluation. Lazily created on first use; returns nullptr when the
+/// configured thread count is 1 (callers then run inline). Nobody but this
+/// accessor owns the pool — engine, trainer and kernels all borrow it.
+ThreadPool* compute_pool();
+
+/// Effective compute-pool thread count (1 means "run inline, no pool").
+std::size_t compute_pool_threads();
+
+/// Reconfigures the compute pool size. 0 = auto (MOMENT_COMPUTE_THREADS env
+/// var, else hardware_concurrency, clamped to [1, 16]). Destroys and
+/// recreates the pool; must not be called while kernels are in flight.
+void set_compute_pool_threads(std::size_t n);
+
+/// Splits [begin, end) into chunks of at least `grain` indices and runs
+/// `fn(chunk_begin, chunk_end)` for each, fanned out over `pool`. The first
+/// chunk runs on the calling thread; the call returns when every chunk is
+/// done (exceptions from chunks are rethrown). Runs the whole range inline
+/// when `pool` is null, the range is within one grain, or the caller already
+/// is one of `pool`'s workers (nested use would deadlock on a full queue).
+///
+/// Chunk boundaries depend only on (range, grain, pool size), so callers that
+/// need thread-count-invariant results must make `fn` independent per index
+/// (each index writes only its own rows), not rely on chunk shapes.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t range = end - begin;
+  if (pool == nullptr || range <= grain || pool->on_worker_thread()) {
+    fn(begin, end);
+    return;
+  }
+  // Over-chunk 4x relative to the pool for load balance, bounded by grain.
+  const std::size_t max_chunks = (range + grain - 1) / grain;
+  const std::size_t chunks = std::min(max_chunks, pool->size() * 4);
+  const std::size_t step = (range + chunks - 1) / chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (std::size_t b = begin + step; b < end; b += step) {
+    const std::size_t e = std::min(end, b + step);
+    pending.push_back(pool->submit([&fn, b, e] { fn(b, e); }));
+  }
+  // Every pending chunk must be drained before returning OR throwing: the
+  // submitted lambdas reference `fn`, which dies with this frame. The first
+  // exception (caller's chunk first, then submission order) is rethrown.
+  std::exception_ptr err;
+  try {
+    fn(begin, std::min(end, begin + step));
+  } catch (...) {
+    err = std::current_exception();
+  }
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
 
 }  // namespace moment::util

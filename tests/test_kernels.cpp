@@ -1,0 +1,331 @@
+// Kernel-vs-naive equivalence for the gnn/kernels layer: the blocked GEMM
+// variants against reference triple loops on ragged shapes, CompiledBlock
+// structure, CSR aggregation against edge-list oracles, and bitwise
+// thread-count invariance of the row-partitioned parallel paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gnn/block.hpp"
+#include "gnn/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using moment::gnn::Block;
+using moment::gnn::CompiledBlock;
+using moment::gnn::compile_block;
+namespace kernels = moment::gnn::kernels;
+
+constexpr double kTol = 1e-4;
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 moment::util::Pcg32& rng) {
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return m;
+}
+
+void ref_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[i * n + j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void ref_gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                 const float* b, float* c, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[i * n + j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[j * k + p];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void ref_gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                 const float* b, float* c, bool accumulate) {
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[p * n + j] : 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        acc += static_cast<double>(a[i * k + p]) * b[i * n + j];
+      }
+      c[p * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void expect_close(const std::vector<float>& ref, const std::vector<float>& got,
+                  const char* what) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(static_cast<double>(ref[i])));
+    ASSERT_NEAR(ref[i], got[i], kTol * denom) << what << " at index " << i;
+  }
+}
+
+/// A hand-built bipartite block: 4 dsts (dst 3 isolated), 7 srcs.
+Block tiny_block() {
+  Block block;
+  block.dst_ids = {0, 1, 2, 3};
+  block.src_ids = {0, 1, 2, 3, 4, 5, 6};
+  block.dst_in_src = {0, 1, 2, 3};
+  block.edges = {{0, 4}, {0, 1}, {1, 5}, {1, 4}, {1, 6}, {2, 0}, {0, 4}};
+  return block;
+}
+
+Block random_block(std::size_t nd, std::size_t ns, std::size_t ne,
+                   moment::util::Pcg32& rng) {
+  Block block;
+  block.dst_ids.resize(nd);
+  block.src_ids.resize(ns);
+  block.dst_in_src.resize(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    block.dst_ids[i] = static_cast<int>(i);
+    block.dst_in_src[i] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < ns; ++i) block.src_ids[i] = static_cast<int>(i);
+  for (std::size_t e = 0; e < ne; ++e) {
+    block.edges.emplace_back(
+        static_cast<int>(rng.next_below(static_cast<std::uint32_t>(nd))),
+        static_cast<int>(rng.next_below(static_cast<std::uint32_t>(ns))));
+  }
+  return block;
+}
+
+TEST(Kernels, GemmVariantsMatchReferenceOnRaggedShapes) {
+  moment::util::Pcg32 rng(7);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 2}, {17, 33, 29}, {65, 1, 129}, {33, 257, 7},
+      {4, 256, 8}, {5, 300, 9}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    const auto bt = random_matrix(n, k, rng);
+    const auto bm = random_matrix(m, n, rng);
+    for (const bool acc : {false, true}) {
+      auto ref = random_matrix(m, n, rng);
+      auto got = ref;  // same starting contents so accumulate is comparable
+      ref_gemm(m, k, n, a.data(), b.data(), ref.data(), acc);
+      kernels::gemm(m, k, n, a.data(), b.data(), got.data(), acc);
+      expect_close(ref, got, "gemm");
+
+      auto ref2 = random_matrix(m, n, rng);
+      auto got2 = ref2;
+      ref_gemm_bt(m, k, n, a.data(), bt.data(), ref2.data(), acc);
+      kernels::gemm_bt(m, k, n, a.data(), bt.data(), got2.data(), acc);
+      expect_close(ref2, got2, "gemm_bt");
+
+      auto ref3 = random_matrix(k, n, rng);
+      auto got3 = ref3;
+      ref_gemm_at(m, k, n, a.data(), bm.data(), ref3.data(), acc);
+      kernels::gemm_at(m, k, n, a.data(), bm.data(), got3.data(), acc);
+      expect_close(ref3, got3, "gemm_at");
+    }
+  }
+}
+
+TEST(CompiledBlockTest, StructureMatchesEdgeList) {
+  const Block block = tiny_block();
+  const CompiledBlock& cb = block.compiled();
+  ASSERT_EQ(cb.num_dst(), 4u);
+  ASSERT_EQ(cb.num_src(), 7u);
+  ASSERT_EQ(cb.num_edges(), block.edges.size());
+
+  // Forward CSR: neighbors sorted ascending, degrees match the edge list.
+  EXPECT_EQ(cb.degree(0), 3);  // {4, 1, 4}
+  EXPECT_EQ(cb.degree(1), 3);  // {5, 4, 6}
+  EXPECT_EQ(cb.degree(2), 1);
+  EXPECT_EQ(cb.degree(3), 0);  // isolated
+  EXPECT_EQ(std::vector<int>(cb.src_of.begin() + cb.dst_off[0],
+                             cb.src_of.begin() + cb.dst_off[1]),
+            (std::vector<int>{1, 4, 4}));
+  EXPECT_EQ(std::vector<int>(cb.src_of.begin() + cb.dst_off[1],
+                             cb.src_of.begin() + cb.dst_off[2]),
+            (std::vector<int>{4, 5, 6}));
+  EXPECT_FLOAT_EQ(cb.inv_deg[0], 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(cb.inv_deg[3], 0.0f);
+
+  // Reverse CSR: every CSR edge id appears exactly once, attached to its src.
+  std::vector<int> seen(cb.num_edges(), 0);
+  for (std::size_t v = 0; v < cb.num_src(); ++v) {
+    for (int t = cb.src_off[v]; t < cb.src_off[v + 1]; ++t) {
+      const int e = cb.rev_edge[static_cast<std::size_t>(t)];
+      EXPECT_EQ(cb.src_of[static_cast<std::size_t>(e)], static_cast<int>(v));
+      ++seen[static_cast<std::size_t>(e)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+
+  // dst_of inverts the forward CSR; self maps are mutual inverses.
+  for (std::size_t i = 0; i < cb.num_dst(); ++i) {
+    for (int t = cb.dst_off[i]; t < cb.dst_off[i + 1]; ++t) {
+      EXPECT_EQ(cb.dst_of[static_cast<std::size_t>(t)], static_cast<int>(i));
+    }
+    EXPECT_EQ(cb.src_to_dst[static_cast<std::size_t>(cb.self_src[i])],
+              static_cast<int>(i));
+  }
+}
+
+TEST(CompiledBlockTest, RejectsOutOfRangeEdges) {
+  Block block = tiny_block();
+  block.edges.emplace_back(0, 99);
+  EXPECT_THROW(compile_block(block), std::out_of_range);
+}
+
+TEST(Kernels, AggregateMeanMatchesEdgeListOracle) {
+  moment::util::Pcg32 rng(11);
+  const std::size_t nd = 60, ns = 150, ne = 700, dim = 37;
+  Block block = random_block(nd, ns, ne, rng);
+  // Force a zero-degree dst: rewire every edge pointing at dst 0 to dst 1.
+  for (auto& [dst, src] : block.edges) {
+    if (dst == 0) dst = 1;
+  }
+  const CompiledBlock cb = compile_block(block);
+  ASSERT_EQ(cb.degree(0), 0);
+  const auto x = random_matrix(ns, dim, rng);
+
+  std::vector<float> ref(nd * dim, 0.0f);
+  std::vector<std::size_t> degree(nd, 0);
+  for (const auto& [dst, src] : block.edges) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      ref[static_cast<std::size_t>(dst) * dim + c] +=
+          x[static_cast<std::size_t>(src) * dim + c];
+    }
+    ++degree[static_cast<std::size_t>(dst)];
+  }
+  for (std::size_t i = 0; i < nd; ++i) {
+    if (degree[i] == 0) continue;
+    for (std::size_t c = 0; c < dim; ++c) {
+      ref[i * dim + c] /= static_cast<float>(degree[i]);
+    }
+  }
+
+  std::vector<float> got(nd * dim, 1.0f);  // nonzero: rows must be overwritten
+  kernels::aggregate_mean(cb, x.data(), dim, got.data());
+  expect_close(ref, got, "aggregate_mean");
+  for (std::size_t c = 0; c < dim; ++c) EXPECT_EQ(got[c], 0.0f);
+}
+
+TEST(Kernels, AggregateCoeffAndGradMatchOracle) {
+  moment::util::Pcg32 rng(13);
+  const std::size_t nd = 40, ns = 90, ne = 350, dim = 19;
+  const Block block = random_block(nd, ns, ne, rng);
+  const CompiledBlock cb = compile_block(block);
+  const auto x = random_matrix(ns, dim, rng);
+  std::vector<float> edge_coeff(ne), self_coeff(nd);
+  for (float& v : edge_coeff) v = static_cast<float>(rng.next_double(0.1, 1.0));
+  for (float& v : self_coeff) v = static_cast<float>(rng.next_double(0.1, 1.0));
+
+  // Forward oracle over the CSR edge list (coefficients are CSR-indexed).
+  std::vector<float> ref(nd * dim, 0.0f);
+  for (std::size_t i = 0; i < nd; ++i) {
+    for (int t = cb.dst_off[i]; t < cb.dst_off[i + 1]; ++t) {
+      const auto src = static_cast<std::size_t>(cb.src_of[t]);
+      for (std::size_t c = 0; c < dim; ++c) {
+        ref[i * dim + c] += edge_coeff[static_cast<std::size_t>(t)] * x[src * dim + c];
+      }
+    }
+    const auto self = static_cast<std::size_t>(cb.self_src[i]);
+    for (std::size_t c = 0; c < dim; ++c) {
+      ref[i * dim + c] += self_coeff[i] * x[self * dim + c];
+    }
+  }
+  std::vector<float> got(nd * dim);
+  kernels::aggregate_coeff(cb, edge_coeff.data(), self_coeff.data(), x.data(),
+                           dim, got.data());
+  expect_close(ref, got, "aggregate_coeff");
+
+  // Backward oracle: scatter g through the same weights, transposed.
+  const auto g = random_matrix(nd, dim, rng);
+  std::vector<float> gref(ns * dim, 0.0f);
+  for (std::size_t i = 0; i < nd; ++i) {
+    for (int t = cb.dst_off[i]; t < cb.dst_off[i + 1]; ++t) {
+      const auto src = static_cast<std::size_t>(cb.src_of[t]);
+      for (std::size_t c = 0; c < dim; ++c) {
+        gref[src * dim + c] +=
+            edge_coeff[static_cast<std::size_t>(t)] * g[i * dim + c];
+      }
+    }
+    const auto self = static_cast<std::size_t>(cb.self_src[i]);
+    for (std::size_t c = 0; c < dim; ++c) {
+      gref[self * dim + c] += self_coeff[i] * g[i * dim + c];
+    }
+  }
+  std::vector<float> ggot(ns * dim);
+  kernels::aggregate_coeff_grad(cb, edge_coeff.data(), self_coeff.data(),
+                                g.data(), dim, ggot.data());
+  expect_close(gref, ggot, "aggregate_coeff_grad");
+}
+
+TEST(Kernels, SageInputGradMatchesOracle) {
+  moment::util::Pcg32 rng(17);
+  const std::size_t nd = 45, ns = 110, ne = 400, dim = 23;
+  const Block block = random_block(nd, ns, ne, rng);
+  const CompiledBlock cb = compile_block(block);
+  const auto grad_self = random_matrix(nd, dim, rng);
+  const auto grad_mean = random_matrix(nd, dim, rng);
+
+  std::vector<float> ref(ns * dim, 0.0f);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const auto self = static_cast<std::size_t>(cb.self_src[i]);
+    for (std::size_t c = 0; c < dim; ++c) {
+      ref[self * dim + c] += grad_self[i * dim + c];
+    }
+    for (int t = cb.dst_off[i]; t < cb.dst_off[i + 1]; ++t) {
+      const auto src = static_cast<std::size_t>(cb.src_of[t]);
+      for (std::size_t c = 0; c < dim; ++c) {
+        ref[src * dim + c] += cb.inv_deg[i] * grad_mean[i * dim + c];
+      }
+    }
+  }
+  std::vector<float> got(ns * dim);
+  kernels::sage_input_grad(cb, grad_self.data(), grad_mean.data(), dim,
+                           got.data());
+  expect_close(ref, got, "sage_input_grad");
+}
+
+TEST(Kernels, ResultsAreBitwiseThreadCountInvariant) {
+  moment::util::Pcg32 rng(23);
+  const std::size_t m = 130, k = 77, n = 53;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  const std::size_t nd = 70, ns = 160, ne = 900, dim = 31;
+  const Block block = random_block(nd, ns, ne, rng);
+  const CompiledBlock cb = compile_block(block);
+  const auto x = random_matrix(ns, dim, rng);
+
+  moment::util::set_compute_pool_threads(1);
+  std::vector<float> c1(m * n), agg1(nd * dim);
+  kernels::gemm(m, k, n, a.data(), b.data(), c1.data(), false);
+  kernels::aggregate_mean(cb, x.data(), dim, agg1.data());
+
+  moment::util::set_compute_pool_threads(4);
+  std::vector<float> c4(m * n), agg4(nd * dim);
+  kernels::gemm(m, k, n, a.data(), b.data(), c4.data(), false);
+  kernels::aggregate_mean(cb, x.data(), dim, agg4.data());
+  moment::util::set_compute_pool_threads(0);  // back to auto
+
+  // Row-partitioned work with fixed per-row accumulation order: bitwise
+  // equality, not just tolerance.
+  EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)));
+  EXPECT_EQ(0,
+            std::memcmp(agg1.data(), agg4.data(), agg1.size() * sizeof(float)));
+}
+
+}  // namespace

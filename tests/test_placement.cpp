@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "placement/search.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace moment::placement {
@@ -122,6 +123,33 @@ TEST(Search, DeterministicAcrossRuns) {
   ASSERT_FALSE(a.top.empty());
   EXPECT_EQ(a.best().placement, b.best().placement);
   EXPECT_DOUBLE_EQ(a.best().score, b.best().score);
+}
+
+TEST(Search, IdenticalTopListWithOneVsManyEvalThreads) {
+  // Candidate evaluation fans out over the shared compute pool; the ranked
+  // result must not depend on the thread count (candidates are collected
+  // first, evaluated into per-index slots, then sorted deterministically).
+  const MachineSpec spec = topology::make_machine_a();
+  SearchOptions o = workload_options(4, 8);
+
+  o.eval_threads = 1;  // serial reference
+  const SearchResult serial = search_placements(spec, o);
+
+  util::set_compute_pool_threads(4);
+  o.eval_threads = 0;  // shared pool
+  const SearchResult parallel = search_placements(spec, o);
+  util::set_compute_pool_threads(0);
+
+  EXPECT_EQ(serial.total_combinations, parallel.total_combinations);
+  EXPECT_EQ(serial.evaluated, parallel.evaluated);
+  ASSERT_EQ(serial.top.size(), parallel.top.size());
+  for (std::size_t i = 0; i < serial.top.size(); ++i) {
+    EXPECT_EQ(serial.top[i].placement, parallel.top[i].placement) << i;
+    EXPECT_DOUBLE_EQ(serial.top[i].score, parallel.top[i].score) << i;
+    EXPECT_DOUBLE_EQ(serial.top[i].fabric_rate_bound,
+                     parallel.top[i].fabric_rate_bound)
+        << i;
+  }
 }
 
 TEST(Search, MachineBBestUsesRootComplexSlots) {

@@ -213,6 +213,81 @@ TEST(ThreadPool, ZeroThreadsClampsToOne) {
   EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
 }
 
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(&pool, 3, 997, 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 3 && i < 997 ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsInlineAsOneChunk) {
+  int calls = 0;
+  parallel_for(nullptr, 0, 100, 8, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, EmptyAndSmallRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Range within one grain: single inline chunk.
+  parallel_for(&pool, 0, 4, 8, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(e - b, 4u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallFromWorkerRunsInline) {
+  // A parallel_for issued from inside one of the same pool's workers must not
+  // re-enter the queue (submit-and-wait from a worker can deadlock once the
+  // pool is saturated); it runs the whole range inline on that worker.
+  ThreadPool pool(2);
+  std::atomic<int> inner_chunks{0};
+  auto fut = pool.submit([&] {
+    EXPECT_TRUE(pool.on_worker_thread());
+    parallel_for(&pool, 0, 64, 1, [&](std::size_t b, std::size_t e) {
+      ++inner_chunks;
+      EXPECT_EQ(b, 0u);
+      EXPECT_EQ(e, 64u);
+    });
+  });
+  fut.get();
+  EXPECT_EQ(inner_chunks.load(), 1);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 0, 100, 1,
+                   [&](std::size_t b, std::size_t) {
+                     if (b == 0) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ComputePool, ConfigurableAndInlineAtOneThread) {
+  set_compute_pool_threads(1);
+  EXPECT_EQ(compute_pool_threads(), 1u);
+  EXPECT_EQ(compute_pool(), nullptr);  // 1 thread = run inline
+  set_compute_pool_threads(3);
+  ASSERT_NE(compute_pool(), nullptr);
+  EXPECT_EQ(compute_pool()->size(), 3u);
+  EXPECT_EQ(compute_pool_threads(), 3u);
+  set_compute_pool_threads(0);  // back to auto for the rest of the suite
+  EXPECT_GE(compute_pool_threads(), 1u);
+}
+
 TEST(Table, FormatsAligned) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});
