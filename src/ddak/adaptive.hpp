@@ -50,6 +50,14 @@ class AdaptivePlacer {
   /// rebalances SSD bins toward their traffic targets.
   MigrationStats rebalance();
 
+  /// Device-loss failover: re-places every resident of `bin` onto surviving
+  /// same-tier bins (capacity-bounded, ignoring the migration budget — a
+  /// failed device leaves no choice), zeroes the failed bin's capacity and
+  /// traffic target, and refreshes the bookkeeping. Returns the migration
+  /// count; vertices that fit nowhere keep their old bin assignment and must
+  /// be served from a fallback copy by the caller.
+  MigrationStats fail_bin(std::size_t bin);
+
   const DataPlacementResult& placement() const noexcept { return placement_; }
   const std::vector<Bin>& bins() const noexcept { return bins_; }
   const std::vector<double>& ema_hotness() const noexcept { return ema_; }

@@ -303,4 +303,81 @@ std::vector<Bin> make_bins(const topology::Topology& topo,
   return bins;
 }
 
+std::vector<FailoverMove> plan_bin_failover(
+    std::span<const Bin> bins, const DataPlacementResult& placement,
+    std::span<const std::size_t> failed_bins) {
+  std::vector<bool> failed(bins.size(), false);
+  for (std::size_t b : failed_bins) {
+    if (b >= bins.size()) {
+      throw std::out_of_range("plan_bin_failover: bin index");
+    }
+    failed[b] = true;
+  }
+
+  // Mutable fill state for the surviving bins.
+  std::vector<double> fill(bins.size(), 0.0);
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    fill[b] = static_cast<double>(placement.bin_count[b]);
+  }
+
+  std::vector<FailoverMove> moves;
+  for (std::size_t v = 0; v < placement.bin_of_vertex.size(); ++v) {
+    const auto from = static_cast<std::size_t>(placement.bin_of_vertex[v]);
+    if (from >= bins.size() || !failed[from]) continue;
+    // Surviving same-tier bin with the lowest capacity-normalised fill.
+    std::int32_t best = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (failed[b] || b == from) continue;
+      if (bins[b].tier != bins[from].tier) continue;
+      if (bins[b].capacity_vertices <= 0.0) continue;
+      if (fill[b] + 1.0 > bins[b].capacity_vertices) continue;
+      const double ratio = fill[b] / bins[b].capacity_vertices;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<std::int32_t>(b);
+      }
+    }
+    if (best < 0) continue;  // nowhere to go: host copy keeps serving it
+    fill[static_cast<std::size_t>(best)] += 1.0;
+    moves.push_back({static_cast<graph::VertexId>(v), best});
+  }
+  return moves;
+}
+
+void apply_failover(std::span<const Bin> bins, DataPlacementResult& placement,
+                    std::span<const FailoverMove> moves) {
+  for (const FailoverMove& m : moves) {
+    const auto from =
+        static_cast<std::size_t>(placement.bin_of_vertex[m.vertex]);
+    const auto to = static_cast<std::size_t>(m.to_bin);
+    // Per-vertex even share of the source bin's access mass moves with it.
+    const double share =
+        placement.bin_count[from] > 0
+            ? placement.bin_access[from] /
+                  static_cast<double>(placement.bin_count[from])
+            : 0.0;
+    placement.bin_access[from] -= share;
+    placement.bin_access[to] += share;
+    --placement.bin_count[from];
+    ++placement.bin_count[to];
+    placement.bin_of_vertex[m.vertex] = m.to_bin;
+  }
+
+  double total = 0.0;
+  for (double a : placement.bin_access) total += a;
+  double total_target = 0.0;
+  for (const auto& b : bins) total_target += std::max(0.0, b.traffic_target);
+  placement.traffic_share_error = 0.0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    placement.bin_traffic_share[b] =
+        total > 0.0 ? placement.bin_access[b] / total : 0.0;
+    if (bins[b].traffic_target > 0.0 && total_target > 0.0) {
+      placement.traffic_share_error +=
+          std::abs(placement.bin_traffic_share[b] -
+                   bins[b].traffic_target / total_target);
+    }
+  }
+}
+
 }  // namespace moment::ddak

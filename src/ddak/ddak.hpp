@@ -89,4 +89,26 @@ std::vector<double> smooth_storage_traffic(
     const topology::Topology& topo, const topology::FlowGraph& fg,
     std::span<const double> per_storage_traffic);
 
+/// One vertex displaced by a bin failure (device loss): it moves from its
+/// failed bin to `to_bin` on a surviving device of the same tier.
+struct FailoverMove {
+  graph::VertexId vertex = 0;
+  std::int32_t to_bin = -1;
+};
+
+/// Plans the re-placement of every vertex resident in `failed_bins` onto
+/// surviving bins of the same tier, greedily filling the bin with the lowest
+/// capacity-normalised fill first and never exceeding capacity. Vertices that
+/// fit nowhere are omitted from the plan (the caller keeps serving them from
+/// the host-side authoritative copy).
+std::vector<FailoverMove> plan_bin_failover(
+    std::span<const Bin> bins, const DataPlacementResult& placement,
+    std::span<const std::size_t> failed_bins);
+
+/// Applies a failover plan to the placement bookkeeping: moves each vertex,
+/// transfers its (per-vertex even) share of the source bin's access mass, and
+/// recomputes the realised traffic shares.
+void apply_failover(std::span<const Bin> bins, DataPlacementResult& placement,
+                    std::span<const FailoverMove> moves);
+
 }  // namespace moment::ddak

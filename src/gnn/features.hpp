@@ -42,6 +42,24 @@ class FeatureProvider {
 
   /// Completes the gather identified by `ticket`. A kSyncTicket is a no-op.
   virtual void gather_wait(GatherTicket ticket) { (void)ticket; }
+
+  /// IO resilience telemetry: how much fault-recovery work gathers needed.
+  /// Counters are cumulative since construction; the gauges reflect the
+  /// backing device array now. Providers without a faultable backend (e.g.
+  /// InMemoryFeatures) report all-zero.
+  struct IoResilience {
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t permanent_failures = 0;
+    /// Rows served from the host-side authoritative copy after SSD reads
+    /// permanently failed.
+    std::uint64_t failovers = 0;
+    /// Failed devices whose bins were re-placed onto survivors.
+    std::uint64_t device_remaps = 0;
+    std::uint32_t devices_degraded = 0;
+    std::uint32_t devices_failed = 0;
+  };
+  virtual IoResilience io_resilience() const { return {}; }
 };
 
 class InMemoryFeatures final : public FeatureProvider {

@@ -1,0 +1,42 @@
+#include "iostack/fault_injector.hpp"
+
+namespace moment::iostack {
+
+FaultInjector::FaultInjector(const FaultProfile& profile)
+    : profile_(profile), rng_(profile.seed, 0xfa017) {}
+
+FaultInjector::Decision FaultInjector::on_read() {
+  Decision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t ordinal = stats_.reads_seen++;
+  if (!failed_.load(std::memory_order_relaxed) &&
+      ordinal >= profile_.fail_after_reads) {
+    failed_.store(true, std::memory_order_relaxed);
+  }
+  if (failed_.load(std::memory_order_relaxed)) {
+    stats_.device_failed = true;
+    d.status = kStatusDeviceFailed;
+    return d;
+  }
+  if (profile_.stall_prob > 0.0 && profile_.stall_us > 0 &&
+      rng_.next_double() < profile_.stall_prob) {
+    ++stats_.injected_stalls;
+    d.stall_us = profile_.stall_us;
+  }
+  if (ordinal < profile_.error_burst_reads ||
+      (profile_.read_error_prob > 0.0 &&
+       rng_.next_double() < profile_.read_error_prob)) {
+    ++stats_.injected_errors;
+    d.status = kStatusReadError;
+  }
+  return d;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultStats s = stats_;
+  s.device_failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace moment::iostack

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic, seeded fault injection for the emulated NVMe devices.
+// A FaultInjector is consulted by SsdDevice::serve once per request, in serve
+// order, and decides whether the read suffers a transient error, a latency
+// spike, or hits a hard device failure (scheduled after a fixed number of
+// reads, or triggered externally via fail_now()). Seeding makes chaos
+// scenarios reproducible: the same profile and serve sequence produce the
+// same fault sequence.
+//
+// Fault outcomes never corrupt data — a faulted read either returns a
+// non-zero CQE status (no bytes copied) or is merely delayed — so the
+// client-side retry/failover machinery can always recover the exact bytes.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace moment::iostack {
+
+/// CQE status codes used by the emulated devices.
+inline constexpr std::uint32_t kStatusOk = 0;
+/// Transient media error (or an invalid request): the read failed but the
+/// device is still serving; a retry may succeed.
+inline constexpr std::uint32_t kStatusReadError = 1;
+/// The device has hard-failed; every request fails until the end of time.
+inline constexpr std::uint32_t kStatusDeviceFailed = 2;
+
+struct FaultProfile {
+  /// Probability a served read returns kStatusReadError (transient).
+  double read_error_prob = 0.0;
+  /// Deterministic error burst: the first N served reads fail regardless of
+  /// read_error_prob (for reproducible retry-then-succeed tests).
+  std::uint64_t error_burst_reads = 0;
+  /// Probability a served read stalls for stall_us before completing.
+  double stall_prob = 0.0;
+  std::uint32_t stall_us = 0;
+  /// Hard device failure after this many served reads (UINT64_MAX = never).
+  std::uint64_t fail_after_reads = UINT64_MAX;
+  std::uint64_t seed = 0x5eedf001;
+};
+
+struct FaultStats {
+  std::uint64_t injected_errors = 0;
+  std::uint64_t injected_stalls = 0;
+  std::uint64_t reads_seen = 0;
+  bool device_failed = false;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile);
+
+  struct Decision {
+    std::uint32_t status = kStatusOk;
+    std::uint32_t stall_us = 0;
+  };
+
+  /// One decision per served request; called by the device service thread.
+  Decision on_read();
+
+  /// Hard-fails the device immediately (callable from any thread).
+  void fail_now() noexcept { failed_.store(true, std::memory_order_relaxed); }
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  FaultStats stats() const;
+  const FaultProfile& profile() const noexcept { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  std::atomic<bool> failed_{false};
+  mutable std::mutex mu_;  // guards rng_ and stats_ (stats read cross-thread)
+  util::Pcg32 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace moment::iostack

@@ -1,14 +1,41 @@
 #include "iostack/feature_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
+#include "ddak/ddak.hpp"
+
 namespace moment::iostack {
+
+std::uint64_t TieredFeatureStore::pack(const Location& loc) noexcept {
+  return static_cast<std::uint64_t>(loc.index) |
+         (static_cast<std::uint64_t>(
+              static_cast<std::uint16_t>(loc.ssd + 1))
+          << 32) |
+         (static_cast<std::uint64_t>(static_cast<int>(loc.kind)) << 48);
+}
+
+TieredFeatureStore::Location TieredFeatureStore::unpack(
+    std::uint64_t bits) noexcept {
+  Location loc;
+  loc.index = static_cast<std::uint32_t>(bits & 0xffffffffu);
+  loc.ssd = static_cast<std::int32_t>((bits >> 32) & 0xffffu) - 1;
+  loc.kind = static_cast<BinBacking::Kind>(static_cast<int>(bits >> 48));
+  return loc;
+}
+
+TieredFeatureStore::Location TieredFeatureStore::location(
+    graph::VertexId v) const noexcept {
+  return unpack(loc_[v].load(std::memory_order_acquire));
+}
 
 TieredFeatureStore::TieredFeatureStore(
     const gnn::Tensor& features, std::span<const std::int32_t> bin_of_vertex,
     std::span<const BinBacking> bins, SsdArray& array)
-    : dim_(features.cols()), array_(&array) {
+    : dim_(features.cols()), array_(&array),
+      bins_(bins.begin(), bins.end()),
+      bin_of_vertex_(bin_of_vertex.begin(), bin_of_vertex.end()) {
   const std::size_t n = features.rows();
   if (bin_of_vertex.size() != n) {
     throw std::invalid_argument("TieredFeatureStore: placement size mismatch");
@@ -17,7 +44,7 @@ TieredFeatureStore::TieredFeatureStore(
   row_bytes_ = ((raw + kPageBytes - 1) / kPageBytes) * kPageBytes;
 
   // First pass: count rows per tier / per SSD.
-  std::size_t gpu_rows = 0, cpu_rows = 0;
+  std::size_t gpu_rows = 0, cpu_rows = 0, ssd_total = 0;
   std::vector<std::uint32_t> ssd_rows(array.size(), 0);
   for (std::size_t v = 0; v < n; ++v) {
     const auto b = static_cast<std::size_t>(bin_of_vertex[v]);
@@ -33,6 +60,7 @@ TieredFeatureStore::TieredFeatureStore(
           throw std::out_of_range("TieredFeatureStore: ssd index");
         }
         ++ssd_rows[s];
+        ++ssd_total;
         break;
       }
     }
@@ -47,16 +75,22 @@ TieredFeatureStore::TieredFeatureStore(
 
   gpu_cache_ = gnn::Tensor(gpu_rows, dim_);
   cpu_cache_ = gnn::Tensor(cpu_rows, dim_);
-  locations_.resize(n);
+  ssd_authoritative_ = gnn::Tensor(ssd_total, dim_);
+  host_index_.assign(n, -1);
+  loc_ = std::vector<std::atomic<std::uint64_t>>(n);
+  ssd_next_slot_.assign(array.size(), 0);
+  device_remapped_.assign(array.size(), false);
 
   std::uint32_t gpu_cursor = 0, cpu_cursor = 0;
+  std::size_t host_cursor = 0;
   std::vector<std::uint32_t> ssd_cursor(array.size(), 0);
   std::vector<std::byte> row(row_bytes_);
   for (std::size_t v = 0; v < n; ++v) {
     const BinBacking& bin = bins[static_cast<std::size_t>(bin_of_vertex[v])];
-    Location& loc = locations_[v];
+    Location loc;
     loc.kind = bin.kind;
     loc.ssd = bin.ssd;
+    loc.index = 0;
     const auto src = features.row(v);
     switch (bin.kind) {
       case BinBacking::Kind::kGpuCache:
@@ -77,15 +111,126 @@ TieredFeatureStore::TieredFeatureStore(
         array.ssd(s).write(static_cast<std::uint64_t>(loc.index) * row_bytes_,
                            row.data(), row.size());
         ++ssd_cursor[s];
+        host_index_[v] = static_cast<std::int64_t>(host_cursor);
+        std::copy(src.begin(), src.end(),
+                  ssd_authoritative_.row(host_cursor).begin());
+        ++host_cursor;
+        break;
+      }
+    }
+    loc_[v].store(pack(loc), std::memory_order_relaxed);
+  }
+  for (std::size_t s = 0; s < array.size(); ++s) {
+    ssd_next_slot_[s] = ssd_cursor[s];
+  }
+}
+
+std::span<const float> TieredFeatureStore::authoritative_row(
+    graph::VertexId v) const {
+  const std::int64_t idx = host_index_[v];
+  if (idx < 0) {
+    throw std::logic_error(
+        "TieredFeatureStore::authoritative_row: vertex is cache-resident");
+  }
+  return ssd_authoritative_.row(static_cast<std::size_t>(idx));
+}
+
+bool TieredFeatureStore::remap_failed_device(std::size_t ssd) {
+  std::lock_guard<std::mutex> lock(remap_mu_);
+  if (ssd >= array_->size() || device_remapped_[ssd]) return false;
+  device_remapped_[ssd] = true;
+
+  // Build the ddak view of the placement: the stored BinBacking list plus a
+  // count/assignment snapshot. Capacities are expressed in vertices.
+  std::vector<ddak::Bin> dbins(bins_.size());
+  std::vector<std::size_t> failed_bins;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    ddak::Bin& db = dbins[b];
+    switch (bins_[b].kind) {
+      case BinBacking::Kind::kGpuCache:
+        db.tier = topology::StorageTier::kGpuHbm;
+        db.capacity_vertices = 0.0;  // caches don't absorb failover rows
+        break;
+      case BinBacking::Kind::kCpuCache:
+        db.tier = topology::StorageTier::kCpuDram;
+        db.capacity_vertices = 0.0;
+        break;
+      case BinBacking::Kind::kSsd: {
+        db.tier = topology::StorageTier::kSsd;
+        const auto s = static_cast<std::size_t>(bins_[b].ssd);
+        if (s == ssd || array_->health(s) == DeviceHealth::kFailed) {
+          if (s == ssd) failed_bins.push_back(b);
+          db.capacity_vertices = 0.0;
+        } else {
+          db.capacity_vertices = static_cast<double>(
+              array_->ssd(s).capacity() / row_bytes_);
+        }
         break;
       }
     }
   }
+  if (failed_bins.empty()) return false;
+
+  ddak::DataPlacementResult snapshot;
+  snapshot.bin_of_vertex = bin_of_vertex_;
+  snapshot.bin_access.assign(bins_.size(), 0.0);
+  snapshot.bin_count.assign(bins_.size(), 0);
+  snapshot.bin_traffic_share.assign(bins_.size(), 0.0);
+  for (std::int32_t b : bin_of_vertex_) {
+    ++snapshot.bin_count[static_cast<std::size_t>(b)];
+  }
+  // Survivors already hold their own rows: count those against capacity.
+  // (bin_count is per-bin; plan_bin_failover seeds fill from it.)
+  const std::vector<ddak::FailoverMove> moves =
+      ddak::plan_bin_failover(dbins, snapshot, failed_bins);
+
+  // Write each displaced vertex's authoritative row to a fresh slot on its
+  // new device, then publish the new location. The SQE ring's release/
+  // acquire pair orders the row bytes before any read that targets them.
+  const std::size_t raw = dim_ * sizeof(float);
+  std::vector<std::byte> row(row_bytes_);
+  for (const ddak::FailoverMove& m : moves) {
+    const auto to_bin = static_cast<std::size_t>(m.to_bin);
+    const auto s = static_cast<std::size_t>(bins_[to_bin].ssd);
+    const std::uint64_t slot = ssd_next_slot_[s];
+    if ((slot + 1) * row_bytes_ > array_->ssd(s).capacity()) {
+      continue;  // out of space: the host copy keeps serving this vertex
+    }
+    const auto src = authoritative_row(m.vertex);
+    std::memset(row.data(), 0, row.size());
+    std::memcpy(row.data(), src.data(), raw);
+    array_->ssd(s).write(slot * row_bytes_, row.data(), row.size());
+    ++ssd_next_slot_[s];
+
+    bin_of_vertex_[m.vertex] = m.to_bin;
+    Location loc;
+    loc.kind = BinBacking::Kind::kSsd;
+    loc.ssd = bins_[to_bin].ssd;
+    loc.index = static_cast<std::uint32_t>(slot);
+    loc_[m.vertex].store(pack(loc), std::memory_order_release);
+  }
+  device_remaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 TieredFeatureClient::TieredFeatureClient(TieredFeatureStore& store,
-                                         std::size_t queue_depth)
-    : store_(store), engine_(store.array(), queue_depth) {}
+                                         std::size_t queue_depth,
+                                         IoEngineOptions io_options)
+    : store_(store), engine_(store.array(), queue_depth, io_options) {}
+
+void TieredFeatureClient::serve_from_host(graph::VertexId v, gnn::Tensor& out,
+                                          std::size_t out_row) {
+  const auto src = store_.authoritative_row(v);
+  std::copy(src.begin(), src.end(), out.row(out_row).begin());
+  ++stats_.failovers;
+}
+
+void TieredFeatureClient::reset_slot(Slot& slot) noexcept {
+  slot.ticket = 0;
+  slot.group = 0;
+  slot.out = nullptr;
+  slot.pending.clear();
+}
 
 void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
                                  gnn::Tensor& out) {
@@ -115,7 +260,7 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
   scratch_reqs_.clear();
 
   for (std::size_t i = 0; i < vertices.size(); ++i) {
-    const auto& loc = store_.location(vertices[i]);
+    TieredFeatureStore::Location loc = store_.location(vertices[i]);
     switch (loc.kind) {
       case BinBacking::Kind::kGpuCache: {
         const auto src = store_.gpu_cache().row(loc.index);
@@ -130,12 +275,24 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
         break;
       }
       case BinBacking::Kind::kSsd: {
+        auto ssd = static_cast<std::size_t>(loc.ssd);
+        if (store_.array().health(ssd) == DeviceHealth::kFailed) {
+          // Known-dead device: trigger the remap (idempotent), re-read the
+          // location, and fall back to the host copy if it didn't move.
+          if (store_.remap_failed_device(ssd)) ++stats_.device_remaps;
+          loc = store_.location(vertices[i]);
+          ssd = static_cast<std::size_t>(loc.ssd);
+          if (loc.kind != BinBacking::Kind::kSsd ||
+              store_.array().health(ssd) == DeviceHealth::kFailed) {
+            serve_from_host(vertices[i], out, i);
+            break;
+          }
+        }
         const std::size_t off = i * row_bytes;
         scratch_reqs_.push_back(
-            {static_cast<std::size_t>(loc.ssd),
-             static_cast<std::uint64_t>(loc.index) * row_bytes,
+            {ssd, static_cast<std::uint64_t>(loc.index) * row_bytes,
              static_cast<std::uint32_t>(row_bytes), slot->bounce.data() + off});
-        slot->pending.push_back({i, off});
+        slot->pending.push_back({i, off, vertices[i]});
         ++stats_.ssd_reads;
         stats_.ssd_bytes += row_bytes;
         break;
@@ -166,17 +323,77 @@ void TieredFeatureClient::gather_wait(GatherTicket ticket) {
   if (slot == nullptr) {
     throw std::logic_error("TieredFeatureClient::gather_wait: unknown ticket");
   }
-  const std::size_t failures = engine_.wait_group(slot->group);
-  if (failures != 0) {
-    slot->ticket = 0;
-    throw std::runtime_error("TieredFeatureClient: SSD read failures");
+
+  try {
+    scratch_failed_.clear();
+    engine_.wait_group(slot->group, scratch_failed_);
+
+    // Identify which pending rows failed (by bounce offset) so successes are
+    // scattered from the bounce buffer and failures from the host copy.
+    std::vector<bool> row_failed;
+    std::size_t failed_ssds_mask = 0;
+    if (!scratch_failed_.empty()) {
+      row_failed.assign(slot->pending.size(), false);
+      for (const FailedRead& fr : scratch_failed_) {
+        const auto off =
+            static_cast<std::size_t>(fr.dest - slot->bounce.data());
+        // pending rows are appended in ascending bounce_off order, so the
+        // failed row is located by binary search over bounce_off.
+        const auto it = std::lower_bound(
+            slot->pending.begin(), slot->pending.end(), off,
+            [](const PendingRow& p, std::size_t o) { return p.bounce_off < o; });
+        if (it != slot->pending.end() && it->bounce_off == off) {
+          row_failed[static_cast<std::size_t>(it - slot->pending.begin())] =
+              true;
+        }
+        if (fr.ssd < sizeof(failed_ssds_mask) * 8) {
+          failed_ssds_mask |= std::size_t{1} << fr.ssd;
+        }
+      }
+    }
+
+    const std::size_t raw = store_.dim() * sizeof(float);
+    for (std::size_t p = 0; p < slot->pending.size(); ++p) {
+      const PendingRow& pr = slot->pending[p];
+      if (!row_failed.empty() && row_failed[p]) {
+        serve_from_host(pr.vertex, *slot->out, pr.out_row);
+      } else {
+        std::memcpy(slot->out->row(pr.out_row).data(),
+                    slot->bounce.data() + pr.bounce_off, raw);
+      }
+    }
+
+    // Hard-failed devices get their bins re-placed so future gathers hit
+    // survivors instead of falling back row by row.
+    if (failed_ssds_mask != 0) {
+      for (std::size_t s = 0; s < store_.array().size(); ++s) {
+        if ((failed_ssds_mask >> s) & 1u) {
+          if (store_.array().health(s) == DeviceHealth::kFailed &&
+              store_.remap_failed_device(s)) {
+            ++stats_.device_remaps;
+          }
+        }
+      }
+    }
+  } catch (...) {
+    reset_slot(*slot);
+    throw;
   }
-  for (const PendingRow& p : slot->pending) {
-    std::memcpy(slot->out->row(p.out_row).data(),
-                slot->bounce.data() + p.bounce_off,
-                store_.dim() * sizeof(float));
-  }
-  slot->ticket = 0;
+  reset_slot(*slot);
+}
+
+gnn::FeatureProvider::IoResilience TieredFeatureClient::io_resilience() const {
+  IoResilience r;
+  const RetryStats& rs = engine_.retry_stats();
+  r.retries = rs.retries;
+  r.timeouts = rs.timeouts;
+  r.permanent_failures = rs.permanent_failures;
+  r.failovers = stats_.failovers;
+  r.device_remaps = store_.device_remaps();
+  r.devices_degraded =
+      static_cast<std::uint32_t>(store_.array().num_degraded());
+  r.devices_failed = static_cast<std::uint32_t>(store_.array().num_failed());
+  return r;
 }
 
 }  // namespace moment::iostack

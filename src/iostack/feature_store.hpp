@@ -4,9 +4,19 @@
 // gathers served through the GPU-initiated IO stack. This is the functional
 // realisation of the paper's storage hierarchy — the piece that actually
 // moves bytes, as opposed to the flow-level simulator that models time.
+//
+// Fault tolerance: the store keeps a host-side authoritative copy of every
+// SSD-resident row. Reads that permanently fail (retries exhausted, device
+// dead) are served from that copy — byte-identical to the device bytes, so
+// training trajectories do not depend on fault timing. When a device hard-
+// fails, its bins are re-placed onto surviving SSDs via the ddak failover
+// planner; fresh slots are written and the vertex locations republished
+// atomically, after which gathers hit the survivors at full speed again.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -27,6 +37,11 @@ struct GatherStats {
   std::uint64_t cpu_hits = 0;
   std::uint64_t ssd_reads = 0;
   std::uint64_t ssd_bytes = 0;
+  /// Rows served from the host authoritative copy after permanent failures.
+  std::uint64_t failovers = 0;
+  /// Failed-device remaps this client triggered (store-wide remaps may be
+  /// triggered by any client; each is counted once per store).
+  std::uint64_t device_remaps = 0;
 };
 
 /// Shared layout: writes SSD-resident rows to the devices (the one-off
@@ -43,6 +58,7 @@ class TieredFeatureStore {
 
   std::size_t dim() const noexcept { return dim_; }
   SsdArray& array() noexcept { return *array_; }
+  const SsdArray& array() const noexcept { return *array_; }
 
   /// Bytes a single vertex row occupies on an SSD (padded to page size so
   /// reads are page-aligned like real NVMe access).
@@ -53,19 +69,59 @@ class TieredFeatureStore {
     std::uint32_t index;  // cache row or SSD slot
     std::int32_t ssd;
   };
-  const Location& location(graph::VertexId v) const { return locations_[v]; }
+  /// Lock-free location lookup; safe against concurrent remaps (locations
+  /// are packed into a single atomic word and republished with release).
+  Location location(graph::VertexId v) const noexcept;
 
   const gnn::Tensor& gpu_cache() const noexcept { return gpu_cache_; }
   const gnn::Tensor& cpu_cache() const noexcept { return cpu_cache_; }
 
+  /// The host authoritative row for an SSD-resident vertex (raw floats,
+  /// dim() wide). Valid for any vertex whose original placement was SSD,
+  /// regardless of later remaps.
+  std::span<const float> authoritative_row(graph::VertexId v) const;
+
+  /// Re-places every bin of `ssd` onto surviving devices: plans with
+  /// ddak::plan_bin_failover, writes the rows to fresh slots, then publishes
+  /// the new locations. Idempotent per device; thread-safe. Returns true if
+  /// this call performed the remap (false = already done or nothing to do).
+  /// Vertices that fit on no survivor keep pointing at the failed device and
+  /// are served from the authoritative copy by clients.
+  bool remap_failed_device(std::size_t ssd);
+
+  /// Total failed-device remaps performed (telemetry).
+  std::uint64_t device_remaps() const noexcept {
+    return device_remaps_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TieredFeatureClient;
+
+  static std::uint64_t pack(const Location& loc) noexcept;
+  static Location unpack(std::uint64_t bits) noexcept;
+
   std::size_t dim_ = 0;
   std::size_t row_bytes_ = 0;
-  std::vector<Location> locations_;
+  /// Packed Location per vertex: bits 0..31 index, 32..47 ssd+1, 48..49 kind.
+  std::vector<std::atomic<std::uint64_t>> loc_;
   gnn::Tensor gpu_cache_;  // replicated per GPU in the real system
   gnn::Tensor cpu_cache_;
   SsdArray* array_ = nullptr;
+
+  /// Host authoritative copy of SSD-resident rows and the (stable) row index
+  /// of each SSD-resident vertex in it; -1 for cache-resident vertices.
+  gnn::Tensor ssd_authoritative_;
+  std::vector<std::int64_t> host_index_;
+
+  /// Placement snapshot for the failover planner.
+  std::vector<BinBacking> bins_;
+  std::vector<std::int32_t> bin_of_vertex_;
+
+  /// Failover state: next free slot per SSD and per-device remap flags.
+  std::mutex remap_mu_;
+  std::vector<std::uint32_t> ssd_next_slot_;
+  std::vector<bool> device_remapped_;
+  std::atomic<std::uint64_t> device_remaps_{0};
 };
 
 /// Per-GPU gather client. Implements gnn::FeatureProvider so the trainer can
@@ -73,10 +129,16 @@ class TieredFeatureStore {
 /// protocol serves cache tiers immediately, submits SSD reads as one
 /// completion group, and scatters the bounce-buffered rows at wait time.
 /// Two staging slots allow two batches in flight (pipelined prefetch).
+///
+/// Failures are recovered, not thrown: a read that permanently fails is
+/// served from the store's authoritative copy (same bytes), and a hard
+/// device failure triggers the store's remap. gather_wait only throws on
+/// protocol misuse, never on IO faults.
 class TieredFeatureClient final : public gnn::FeatureProvider {
  public:
   explicit TieredFeatureClient(TieredFeatureStore& store,
-                               std::size_t queue_depth = 256);
+                               std::size_t queue_depth = 256,
+                               IoEngineOptions io_options = {});
 
   std::size_t dim() const override { return store_.dim(); }
   void gather(std::span<const graph::VertexId> vertices,
@@ -85,13 +147,17 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
                             gnn::Tensor& out) override;
   void gather_wait(GatherTicket ticket) override;
 
+  IoResilience io_resilience() const override;
+
   const GatherStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
+  const IoEngine& engine() const noexcept { return engine_; }
 
  private:
   struct PendingRow {
     std::size_t out_row;
     std::size_t bounce_off;
+    graph::VertexId vertex;
   };
   /// One in-flight gather: its SSD completion group, the rows to scatter,
   /// and a dedicated bounce buffer (per-slot, so prefetch never overwrites
@@ -104,12 +170,17 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
     std::vector<std::byte> bounce;  // page-aligned staging for SSD reads
   };
 
+  void serve_from_host(graph::VertexId v, gnn::Tensor& out,
+                       std::size_t out_row);
+  void reset_slot(Slot& slot) noexcept;
+
   TieredFeatureStore& store_;
   IoEngine engine_;
   GatherStats stats_;
   Slot slots_[2];
   std::uint64_t next_ticket_ = 1;
   std::vector<ReadRequest> scratch_reqs_;
+  std::vector<FailedRead> scratch_failed_;
 };
 
 }  // namespace moment::iostack

@@ -1,11 +1,21 @@
 #include "iostack/ssd.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 namespace moment::iostack {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 SsdDevice::SsdDevice(const SsdOptions& options)
     : store_(options.capacity_bytes), options_(options) {}
@@ -18,6 +28,14 @@ QueuePair* SsdDevice::create_queue_pair(std::size_t depth) {
   }
   queues_.push_back(std::make_unique<QueuePair>(depth));
   return queues_.back().get();
+}
+
+FaultInjector* SsdDevice::inject_faults(const FaultProfile& profile) {
+  if (running_.load()) {
+    throw std::logic_error("SsdDevice: inject_faults while running");
+  }
+  injector_ = std::make_unique<FaultInjector>(profile);
+  return injector_.get();
 }
 
 void SsdDevice::start() {
@@ -46,24 +64,53 @@ SsdStats SsdDevice::stats() const {
   return stats_;
 }
 
+void SsdDevice::bounded_stall(std::uint32_t stall_us) {
+  // Sleep in slices so a stalling device still honours stop() promptly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(stall_us);
+  while (!stop_requested_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min<std::uint32_t>(stall_us, 100)));
+  }
+}
+
 void SsdDevice::serve(const Sqe& sqe, QueuePair& qp) {
   Cqe cqe;
   cqe.tag = sqe.tag;
-  if (sqe.dest == nullptr ||
-      sqe.offset + sqe.length > store_.size()) {
-    cqe.status = 1;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.errors;
-  } else {
+  std::uint32_t status = kStatusOk;
+  if (injector_) {
+    const FaultInjector::Decision d = injector_->on_read();
+    if (d.stall_us > 0) bounded_stall(d.stall_us);
+    status = d.status;
+  }
+  if (status == kStatusOk &&
+      (sqe.dest == nullptr || sqe.offset + sqe.length > store_.size())) {
+    status = kStatusReadError;
+  }
+  if (status == kStatusOk) {
     std::memcpy(sqe.dest, store_.data() + sqe.offset, sqe.length);
-    cqe.status = 0;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.reads;
     stats_.bytes_read += sqe.length;
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
   }
-  // Completion queues are sized to the submission queue, so this can only
-  // fail if the client stops polling; spin rather than drop the completion.
+  cqe.status = status;
+  // Completion queues are sized to the submission queue, so delivery can
+  // only block if the client stops polling. The spin is bounded: it checks
+  // the stop flag (a client that stopped polling must not wedge shutdown)
+  // and eventually drops the completion rather than hanging the device.
+  constexpr std::size_t kCompleteSpinLimit = 1 << 20;
+  std::size_t spins = 0;
   while (!qp.complete(cqe)) {
+    if (stop_requested_.load(std::memory_order_relaxed) ||
+        ++spins > kCompleteSpinLimit) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.dropped_completions;
+      return;
+    }
     std::this_thread::yield();
   }
 }
@@ -107,10 +154,14 @@ void SsdDevice::service_loop() {
   }
 }
 
-SsdArray::SsdArray(std::size_t num_ssds, const SsdOptions& options) {
+SsdArray::SsdArray(std::size_t num_ssds, const SsdOptions& options,
+                   const HealthOptions& health)
+    : health_options_(health) {
   ssds_.reserve(num_ssds);
+  states_.reserve(num_ssds);
   for (std::size_t i = 0; i < num_ssds; ++i) {
     ssds_.push_back(std::make_unique<SsdDevice>(options));
+    states_.push_back(std::make_unique<DeviceState>());
   }
 }
 
@@ -124,52 +175,244 @@ void SsdArray::stop_all() {
   for (auto& s : ssds_) s->stop();
 }
 
-IoEngine::IoEngine(SsdArray& array, std::size_t queue_depth) {
+DeviceHealth SsdArray::health(std::size_t i) const noexcept {
+  return static_cast<DeviceHealth>(
+      states_[i]->health.load(std::memory_order_acquire));
+}
+
+void SsdArray::report_io_result(std::size_t i, bool ok) noexcept {
+  DeviceState& st = *states_[i];
+  if (ok) {
+    st.consecutive_failures.store(0, std::memory_order_relaxed);
+    int cur = st.health.load(std::memory_order_relaxed);
+    if (cur == static_cast<int>(DeviceHealth::kDegraded)) {
+      // Failed is sticky; only degraded recovers to healthy.
+      st.health.compare_exchange_strong(
+          cur, static_cast<int>(DeviceHealth::kHealthy),
+          std::memory_order_release, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const std::uint32_t streak =
+      st.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= health_options_.failed_after) {
+    mark_failed(i);
+  } else if (streak >= health_options_.degraded_after) {
+    int cur = st.health.load(std::memory_order_relaxed);
+    if (cur == static_cast<int>(DeviceHealth::kHealthy)) {
+      st.health.compare_exchange_strong(
+          cur, static_cast<int>(DeviceHealth::kDegraded),
+          std::memory_order_release, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SsdArray::mark_failed(std::size_t i) noexcept {
+  states_[i]->health.store(static_cast<int>(DeviceHealth::kFailed),
+                           std::memory_order_release);
+}
+
+std::size_t SsdArray::num_degraded() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (health(i) == DeviceHealth::kDegraded) ++n;
+  }
+  return n;
+}
+
+std::size_t SsdArray::num_failed() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (health(i) == DeviceHealth::kFailed) ++n;
+  }
+  return n;
+}
+
+IoEngine::IoEngine(SsdArray& array, std::size_t queue_depth,
+                   IoEngineOptions options)
+    : array_(&array), options_(options) {
   queues_.reserve(array.size());
   for (std::size_t i = 0; i < array.size(); ++i) {
     queues_.push_back(array.ssd(i).create_queue_pair(queue_depth));
   }
 }
 
-namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+bool IoEngine::device_failed(std::size_t ssd) const noexcept {
+  return array_ != nullptr && array_->health(ssd) == DeviceHealth::kFailed;
 }
 
-}  // namespace
+std::uint64_t IoEngine::backoff_ns(std::uint32_t attempts) const noexcept {
+  const auto base =
+      static_cast<std::uint64_t>(options_.retry_backoff.count());
+  const std::uint32_t shift = std::min(attempts > 0 ? attempts - 1 : 0u, 6u);
+  return base << shift;
+}
 
-void IoEngine::drain_completions() {
+void IoEngine::finish_success(const Pending& p) {
+  if (p.group_id != 0) {
+    auto it = groups_.find(p.group_id);
+    if (it != groups_.end()) --it->second.outstanding;
+  }
+}
+
+void IoEngine::finish_failure(const Pending& p) {
+  ++failures_;
+  ++retry_stats_.permanent_failures;
+  const FailedRead fr{p.ssd, p.offset, p.length, p.dest};
+  if (p.group_id != 0) {
+    auto it = groups_.find(p.group_id);
+    if (it != groups_.end()) {
+      --it->second.outstanding;
+      ++it->second.failures;
+      it->second.failed.push_back(fr);
+      return;
+    }
+  }
+  ungrouped_failed_.push_back(fr);
+}
+
+void IoEngine::handle_attempt_failure(Pending p, std::uint64_t now,
+                                      bool timed_out) {
+  if (timed_out) ++retry_stats_.timeouts;
+  if (!device_failed(p.ssd) && p.attempts <= options_.max_retries) {
+    ++retry_stats_.retries;
+    RetryEntry e;
+    e.not_before_ns = now + backoff_ns(p.attempts);
+    e.req = p;
+    ++e.req.attempts;
+    retry_queue_.push_back(std::move(e));
+    return;
+  }
+  finish_failure(p);
+}
+
+bool IoEngine::drain_completions() {
   Cqe cqe;
-  const std::uint64_t now = now_ns();
+  bool progress = false;
   for (auto* qp : queues_) {
     while (qp->poll_completion(cqe)) {
-      --in_flight_;
-      ++completed_;
-      if (cqe.status != 0) ++failures_;
-      for (CompletionGroup& g : groups_) {
-        if (cqe.tag >= g.start_tag && cqe.tag < g.end_tag) {
-          --g.outstanding;
-          if (cqe.status != 0) ++g.failures;
-          break;
-        }
+      progress = true;
+      const auto ab = abandoned_.find(cqe.tag);
+      if (ab != abandoned_.end()) {
+        // Late completion of a timed-out attempt: the retry (or failover)
+        // owns the request now; the duplicate write carried the same bytes.
+        abandoned_.erase(ab);
+        continue;
       }
-      for (auto it = pending_times_.begin(); it != pending_times_.end();
-           ++it) {
-        if (it->first == cqe.tag) {
-          const double lat = static_cast<double>(now - it->second);
-          ++latency_count_;
-          latency_sum_ns_ += lat;
-          latency_max_ns_ = std::max(latency_max_ns_, lat);
-          pending_times_.erase(it);
-          break;
+      const auto it = pending_.find(cqe.tag);
+      if (it == pending_.end()) continue;  // dropped/stale tag
+      const Pending p = it->second;
+      pending_.erase(it);
+      ++completed_;
+      if (cqe.status == kStatusOk) {
+        if (array_) array_->report_io_result(p.ssd, true);
+        const double lat =
+            static_cast<double>(now_ns() - p.first_submit_ns);
+        ++latency_count_;
+        latency_sum_ns_ += lat;
+        latency_max_ns_ = std::max(latency_max_ns_, lat);
+        finish_success(p);
+      } else {
+        if (array_) {
+          if (cqe.status == kStatusDeviceFailed) {
+            array_->mark_failed(p.ssd);
+          } else {
+            array_->report_io_result(p.ssd, false);
+          }
         }
+        handle_attempt_failure(p, now_ns(), /*timed_out=*/false);
       }
     }
   }
+  return progress;
+}
+
+bool IoEngine::service_retries(std::uint64_t now) {
+  bool progress = false;
+  for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
+    if (device_failed(it->req.ssd)) {
+      finish_failure(it->req);
+      it = retry_queue_.erase(it);
+      progress = true;
+      continue;
+    }
+    if (now < it->not_before_ns) {
+      ++it;
+      continue;
+    }
+    Pending p = it->req;
+    p.deadline_ns =
+        now + static_cast<std::uint64_t>(options_.request_deadline.count());
+    const std::uint64_t tag = next_tag_++;
+    if (queues_[p.ssd]->submit({p.offset, p.length, p.dest, tag})) {
+      pending_.emplace(tag, p);
+      it = retry_queue_.erase(it);
+      progress = true;
+    } else {
+      ++it;  // SQ full; retried on the next pump
+    }
+  }
+  return progress;
+}
+
+bool IoEngine::check_timeouts(std::uint64_t now) {
+  // Rate-limited: the deadline scan is O(in-flight) and only needs to run
+  // at timeout granularity, not per poll.
+  if (now - last_timeout_scan_ns_ < 100'000) return false;
+  last_timeout_scan_ns_ = now;
+  bool progress = false;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now <= it->second.deadline_ns) {
+      ++it;
+      continue;
+    }
+    const Pending p = it->second;
+    abandoned_.emplace(it->first, p.ssd);
+    it = pending_.erase(it);
+    if (array_) array_->report_io_result(p.ssd, false);
+    handle_attempt_failure(p, now, /*timed_out=*/true);
+    progress = true;
+  }
+  // Abandoned attempts on a failed device will never complete; forget them.
+  if (array_ != nullptr && !abandoned_.empty()) {
+    for (auto it = abandoned_.begin(); it != abandoned_.end();) {
+      it = device_failed(it->second) ? abandoned_.erase(it) : std::next(it);
+    }
+  }
+  return progress;
+}
+
+bool IoEngine::pump() {
+  bool progress = drain_completions();
+  const std::uint64_t now = now_ns();
+  progress |= service_retries(now);
+  progress |= check_timeouts(now);
+  return progress;
+}
+
+void IoEngine::force_fail(std::uint64_t group_id, bool all) {
+  const std::uint64_t now = now_ns();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!all && it->second.group_id != group_id) {
+      ++it;
+      continue;
+    }
+    const Pending p = it->second;
+    abandoned_.emplace(it->first, p.ssd);
+    it = pending_.erase(it);
+    ++retry_stats_.timeouts;
+    if (array_) array_->report_io_result(p.ssd, false);
+    finish_failure(p);
+  }
+  for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
+    if (!all && it->req.group_id != group_id) {
+      ++it;
+      continue;
+    }
+    finish_failure(it->req);
+    it = retry_queue_.erase(it);
+  }
+  last_timeout_scan_ns_ = now;
 }
 
 std::uint64_t IoEngine::submit_read(std::size_t ssd, std::uint64_t offset,
@@ -177,19 +420,44 @@ std::uint64_t IoEngine::submit_read(std::size_t ssd, std::uint64_t offset,
   if (ssd >= queues_.size()) {
     throw std::out_of_range("IoEngine::submit_read: ssd index");
   }
-  Sqe sqe{offset, length, dest, next_tag_++};
-  if (!groups_.empty() && groups_.back().end_tag == UINT64_MAX) {
-    ++groups_.back().outstanding;
+  const std::uint64_t now = now_ns();
+  Pending p;
+  p.ssd = ssd;
+  p.offset = offset;
+  p.length = length;
+  p.dest = dest;
+  p.group_id = open_group_;
+  p.first_submit_ns = now;
+  p.deadline_ns =
+      now + static_cast<std::uint64_t>(options_.request_deadline.count());
+  if (open_group_ != 0) ++groups_.at(open_group_).outstanding;
+
+  const std::uint64_t tag = next_tag_++;
+  if (device_failed(ssd)) {
+    // Known-dead device: fail fast without touching it.
+    finish_failure(p);
+    return tag;
   }
-  pending_times_.emplace_back(sqe.tag, now_ns());
-  while (!queues_[ssd]->submit(sqe)) {
+  const std::uint64_t spin_bound =
+      now + static_cast<std::uint64_t>(options_.wait_deadline.count());
+  while (!queues_[ssd]->submit({offset, length, dest, tag})) {
     // SQ full: make progress by draining completions (as a GPU thread would
-    // spin on its CQ doorbell).
-    drain_completions();
+    // spin on its CQ doorbell) and servicing retries/timeouts.
+    pump();
+    if (device_failed(ssd)) {
+      finish_failure(p);
+      return tag;
+    }
+    if (now_ns() > spin_bound) {
+      ++retry_stats_.timeouts;
+      if (array_) array_->report_io_result(ssd, false);
+      finish_failure(p);
+      return tag;
+    }
     std::this_thread::yield();
   }
-  ++in_flight_;
-  return sqe.tag;
+  pending_.emplace(tag, p);
+  return tag;
 }
 
 void IoEngine::submit_batch(std::span<const ReadRequest> requests) {
@@ -199,56 +467,89 @@ void IoEngine::submit_batch(std::span<const ReadRequest> requests) {
 }
 
 std::size_t IoEngine::wait_all() {
-  while (in_flight_ > 0) {
-    const std::size_t before = in_flight_;
-    drain_completions();
-    if (in_flight_ == before) std::this_thread::yield();
+  const std::uint64_t bound =
+      now_ns() + static_cast<std::uint64_t>(options_.wait_deadline.count());
+  while (!pending_.empty() || !retry_queue_.empty()) {
+    if (!pump()) {
+      if (now_ns() > bound) {
+        force_fail(0, /*all=*/true);
+        break;
+      }
+      std::this_thread::yield();
+    }
   }
+  const std::size_t f = failures_;
+  failures_ = 0;
+  ungrouped_failed_.clear();
+  return f;
+}
+
+std::size_t IoEngine::wait_all(std::vector<FailedRead>& failed) {
+  const std::uint64_t bound =
+      now_ns() + static_cast<std::uint64_t>(options_.wait_deadline.count());
+  while (!pending_.empty() || !retry_queue_.empty()) {
+    if (!pump()) {
+      if (now_ns() > bound) {
+        force_fail(0, /*all=*/true);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  failed.insert(failed.end(), ungrouped_failed_.begin(),
+                ungrouped_failed_.end());
+  ungrouped_failed_.clear();
   const std::size_t f = failures_;
   failures_ = 0;
   return f;
 }
 
 std::uint64_t IoEngine::group_begin() {
-  if (!groups_.empty() && groups_.back().end_tag == UINT64_MAX) {
+  if (open_group_ != 0) {
     throw std::logic_error("IoEngine::group_begin: a group is already open");
   }
-  CompletionGroup g;
-  g.id = next_group_id_++;
-  g.start_tag = next_tag_;
-  groups_.push_back(g);
-  return g.id;
+  const std::uint64_t id = next_group_id_++;
+  groups_.emplace(id, CompletionGroup{});
+  open_group_ = id;
+  return id;
 }
 
 void IoEngine::group_end(std::uint64_t group) {
-  for (CompletionGroup& g : groups_) {
-    if (g.id == group) {
-      g.end_tag = next_tag_;
-      return;
-    }
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    throw std::logic_error("IoEngine::group_end: unknown group");
   }
-  throw std::logic_error("IoEngine::group_end: unknown group");
+  it->second.open = false;
+  if (open_group_ == group) open_group_ = 0;
 }
 
 std::size_t IoEngine::wait_group(std::uint64_t group) {
-  std::size_t idx = groups_.size();
-  for (std::size_t i = 0; i < groups_.size(); ++i) {
-    if (groups_[i].id == group) {
-      idx = i;
-      break;
-    }
-  }
-  if (idx == groups_.size()) {
+  std::vector<FailedRead> scratch;
+  return wait_group(group, scratch);
+}
+
+std::size_t IoEngine::wait_group(std::uint64_t group,
+                                 std::vector<FailedRead>& failed) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) {
     throw std::logic_error("IoEngine::wait_group: unknown group");
   }
-  if (groups_[idx].end_tag == UINT64_MAX) group_end(group);
-  while (groups_[idx].outstanding > 0) {
-    const std::size_t before = groups_[idx].outstanding;
-    drain_completions();
-    if (groups_[idx].outstanding == before) std::this_thread::yield();
+  if (it->second.open) group_end(group);
+  const std::uint64_t bound =
+      now_ns() + static_cast<std::uint64_t>(options_.wait_deadline.count());
+  while (it->second.outstanding > 0) {
+    if (!pump()) {
+      if (now_ns() > bound) {
+        force_fail(group, /*all=*/false);
+        break;
+      }
+      std::this_thread::yield();
+    }
   }
-  const std::size_t f = groups_[idx].failures;
-  groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(idx));
+  const std::size_t f = it->second.failures;
+  failed.insert(failed.end(), it->second.failed.begin(),
+                it->second.failed.end());
+  groups_.erase(it);
   return f;
 }
 

@@ -218,6 +218,20 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
   const auto t0 = Clock::now();
   const std::size_t workers = providers_.size();
 
+  // Snapshot the providers' cumulative resilience counters so the epoch
+  // stats can report deltas (device_remaps is store-wide: take the max
+  // across providers sharing a store instead of summing it).
+  gnn::FeatureProvider::IoResilience io_before;
+  std::uint64_t remaps_before = 0;
+  for (const gnn::FeatureProvider* p : providers_) {
+    const auto r = p->io_resilience();
+    io_before.retries += r.retries;
+    io_before.timeouts += r.timeouts;
+    io_before.permanent_failures += r.permanent_failures;
+    io_before.failovers += r.failovers;
+    remaps_before = std::max(remaps_before, r.device_remaps);
+  }
+
   for (WorkerState& ws : worker_states_) ws = WorkerState{};
   ctx_.labels = labels;
   ctx_.batch_size = batch_size;
@@ -283,6 +297,28 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
   if (hidden + exposed > 0.0) {
     stats.overlap_ratio = hidden / (hidden + exposed);
   }
+
+  gnn::FeatureProvider::IoResilience io_after;
+  std::uint64_t remaps_after = 0;
+  for (const gnn::FeatureProvider* p : providers_) {
+    const auto r = p->io_resilience();
+    io_after.retries += r.retries;
+    io_after.timeouts += r.timeouts;
+    io_after.permanent_failures += r.permanent_failures;
+    io_after.failovers += r.failovers;
+    remaps_after = std::max(remaps_after, r.device_remaps);
+    stats.io.devices_degraded =
+        std::max(stats.io.devices_degraded, r.devices_degraded);
+    stats.io.devices_failed =
+        std::max(stats.io.devices_failed, r.devices_failed);
+  }
+  stats.io.retries = io_after.retries - io_before.retries;
+  stats.io.timeouts = io_after.timeouts - io_before.timeouts;
+  stats.io.permanent_failures =
+      io_after.permanent_failures - io_before.permanent_failures;
+  stats.io.failovers = io_after.failovers - io_before.failovers;
+  stats.io.device_remaps = remaps_after - remaps_before;
+
   stats.wall_time_s = seconds_since(t0);
   return stats;
 }

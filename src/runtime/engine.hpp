@@ -66,6 +66,12 @@ struct EpochStats {
   /// in-flight time that was overlapped with other pipeline stages instead
   /// of stalling the worker. 0 when nothing ran asynchronously.
   double overlap_ratio = 0.0;
+
+  /// IO fault-recovery work this epoch: counter fields are per-epoch deltas
+  /// summed over workers; the devices_* gauges are the post-epoch state of
+  /// the backing array (max across providers). All zero for fault-free runs
+  /// and for providers without a faultable backend.
+  gnn::FeatureProvider::IoResilience io;
 };
 
 struct EngineOptions {

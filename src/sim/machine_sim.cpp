@@ -131,10 +131,56 @@ SimReport simulate_epoch(const topology::Topology& topo,
     }
   }
 
+  // Degraded mode: failed SSD bins shed their traffic share proportionally
+  // onto the surviving SSD bins (the post-failover steady state), and
+  // transient errors inflate SSD bytes by the retry read amplification.
+  std::vector<double> share_of_bin(placement.bin_traffic_share.begin(),
+                                   placement.bin_traffic_share.end());
+  std::size_t failed_ssd_count = 0;
+  if (!options.failed_ssd_ordinals.empty()) {
+    std::vector<bool> bin_failed(bins.size(), false);
+    double failed_share = 0.0, surviving_share = 0.0;
+    int surviving_bins = 0;
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      if (ssd_ordinal[bi] < 0) continue;
+      const bool f = std::find(options.failed_ssd_ordinals.begin(),
+                               options.failed_ssd_ordinals.end(),
+                               ssd_ordinal[bi]) !=
+                     options.failed_ssd_ordinals.end();
+      bin_failed[bi] = f;
+      if (f) {
+        ++failed_ssd_count;
+        failed_share += share_of_bin[bi];
+      } else {
+        surviving_share += share_of_bin[bi];
+        ++surviving_bins;
+      }
+    }
+    if (failed_share > 0.0 && surviving_bins == 0) {
+      throw std::invalid_argument(
+          "simulate_epoch: all SSD bins carrying traffic are failed");
+    }
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      if (ssd_ordinal[bi] < 0) continue;
+      if (bin_failed[bi]) {
+        share_of_bin[bi] = 0.0;
+      } else if (failed_share > 0.0) {
+        share_of_bin[bi] += surviving_share > 0.0
+                                ? failed_share * share_of_bin[bi] /
+                                      surviving_share
+                                : failed_share /
+                                      static_cast<double>(surviving_bins);
+      }
+    }
+  }
+  const double retry_amp =
+      1.0 /
+      (1.0 - std::clamp(options.ssd_transient_error_rate, 0.0, 0.99));
+
   for (int g = 0; g < num_gpus; ++g) {
     const maxflow::NodeId comp = fg.gpus[static_cast<std::size_t>(g)].comp_node;
     for (std::size_t bi = 0; bi < bins.size(); ++bi) {
-      double share = placement.bin_traffic_share[bi];
+      double share = share_of_bin[bi];
       const ddak::Bin& bin = bins[bi];
       if (options.partition_ssds_per_gpu && ssd_ordinal[bi] >= 0 &&
           num_ssd_bins > 0) {
@@ -148,7 +194,7 @@ SimReport simulate_epoch(const topology::Topology& topo,
       if (share <= 1e-12) continue;
       double bytes = bytes_per_batch * share;
       if (bin.tier == topology::StorageTier::kSsd) {
-        bytes *= options.ssd_read_amplification;
+        bytes *= options.ssd_read_amplification * retry_amp;
       }
       if (bin.storage_index < 0) {
         continue;  // replicated GPU cache: HBM-local, no fabric traffic
@@ -190,6 +236,8 @@ SimReport simulate_epoch(const topology::Topology& topo,
   const FluidResult round = simulate_round(fg, streams, num_gpus);
 
   SimReport report;
+  report.failed_ssds = failed_ssd_count;
+  report.retry_read_amplification = retry_amp;
   report.io_round_time_s = round.finish_time;
   report.round_time_s =
       std::max(round.finish_time, options.compute_time_per_batch) +

@@ -40,6 +40,14 @@ struct SimOptions {
   /// size) — 4 KiB feature reads on a P5510 are IOPS-bound near 1M ops/s.
   double ssd_iops = 0.0;
   double ssd_request_bytes = 4096.0;
+  /// Degraded mode: SSD bins with these ordinals (position among SSD-tier
+  /// bins, matching the partition_ssds_per_gpu numbering) are failed; their
+  /// traffic share is redistributed proportionally onto surviving SSD bins —
+  /// the steady state after the feature store's failover remap.
+  std::vector<int> failed_ssd_ordinals;
+  /// Transient read-error rate p on the SSD tier: every SSD byte is fetched
+  /// 1/(1-p) times on average (retry read amplification). 0 = fault-free.
+  double ssd_transient_error_rate = 0.0;
 };
 
 struct LinkTrafficReport {
@@ -62,6 +70,10 @@ struct SimReport {
   double qpi_bytes = 0.0;                // per epoch, both directions
   std::vector<LinkTrafficReport> link_traffic;
   bool io_bound = false;
+  /// Degraded-mode echo: failed SSD bins and the retry read-amplification
+  /// factor applied to SSD-tier bytes (1.0 = fault-free).
+  std::size_t failed_ssds = 0;
+  double retry_read_amplification = 1.0;
 };
 
 /// Simulates one epoch of data-parallel training.

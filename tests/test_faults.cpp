@@ -1,0 +1,533 @@
+// Tests for the fault-injection + resilience layer: deterministic injectors,
+// retry/timeout/backoff in IoEngine, bounded waits, the device health
+// registry, feature-store failover with DDAK re-placement, and degraded-mode
+// simulation. Registered under the `faults` CTest label.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "ddak/adaptive.hpp"
+#include "ddak/ddak.hpp"
+#include "ddak/workload.hpp"
+#include "gnn/synthetic.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "iostack/fault_injector.hpp"
+#include "iostack/feature_store.hpp"
+#include "runtime/systems.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace moment::iostack {
+namespace {
+
+TEST(FaultInjector, DeterministicUnderSameSeed) {
+  FaultProfile p;
+  p.read_error_prob = 0.3;
+  p.stall_prob = 0.2;
+  p.stall_us = 5;
+  p.seed = 77;
+  FaultInjector a(p), b(p);
+  for (int i = 0; i < 1000; ++i) {
+    const auto da = a.on_read();
+    const auto db = b.on_read();
+    ASSERT_EQ(da.status, db.status) << "read " << i;
+    ASSERT_EQ(da.stall_us, db.stall_us) << "read " << i;
+  }
+  EXPECT_EQ(a.stats().injected_errors, b.stats().injected_errors);
+  EXPECT_GT(a.stats().injected_errors, 0u);
+  EXPECT_GT(a.stats().injected_stalls, 0u);
+}
+
+TEST(FaultInjector, ScheduledHardFailureIsSticky) {
+  FaultProfile p;
+  p.fail_after_reads = 5;
+  FaultInjector inj(p);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inj.on_read().status, kStatusOk) << "read " << i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(inj.on_read().status, kStatusDeviceFailed);
+  }
+  EXPECT_TRUE(inj.failed());
+  EXPECT_TRUE(inj.stats().device_failed);
+}
+
+TEST(FaultInjector, FailNowTakesEffectImmediately) {
+  FaultInjector inj(FaultProfile{});
+  EXPECT_EQ(inj.on_read().status, kStatusOk);
+  inj.fail_now();
+  EXPECT_EQ(inj.on_read().status, kStatusDeviceFailed);
+}
+
+TEST(IoEngine, RetryThenSucceedRecoversData) {
+  // The first served read fails deterministically; the retry succeeds and
+  // the caller sees correct bytes with zero reported failures.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdArray array(1, opts);
+  std::vector<std::byte> page(kPageBytes, std::byte{0xAB});
+  array.ssd(0).write(0, page.data(), page.size());
+  FaultProfile fp;
+  fp.error_burst_reads = 1;
+  array.ssd(0).inject_faults(fp);
+
+  IoEngine engine(array);
+  array.start_all();
+  std::vector<std::byte> dest(kPageBytes);
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                     dest.data());
+  EXPECT_EQ(engine.wait_all(), 0u);
+  array.stop_all();
+  EXPECT_EQ(dest[0], std::byte{0xAB});
+  EXPECT_EQ(engine.retry_stats().retries, 1u);
+  EXPECT_EQ(engine.retry_stats().permanent_failures, 0u);
+  EXPECT_EQ(array.health(0), DeviceHealth::kHealthy);  // success reset streak
+}
+
+TEST(IoEngine, RetryExhaustedPropagatesThroughGroup) {
+  // Every served read fails: the request exhausts its retries and the group
+  // reports it with the original request attached.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdArray array(1, opts);
+  FaultProfile fp;
+  fp.read_error_prob = 1.0;
+  array.ssd(0).inject_faults(fp);
+
+  IoEngineOptions io;
+  io.max_retries = 2;
+  IoEngine engine(array, 256, io);
+  array.start_all();
+  std::vector<std::byte> dest(kPageBytes);
+  const std::uint64_t g = engine.group_begin();
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                     dest.data());
+  engine.group_end(g);
+  std::vector<FailedRead> failed;
+  EXPECT_EQ(engine.wait_group(g, failed), 1u);
+  array.stop_all();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].ssd, 0u);
+  EXPECT_EQ(failed[0].dest, dest.data());
+  EXPECT_EQ(engine.retry_stats().retries, 2u);  // == max_retries
+  EXPECT_EQ(engine.retry_stats().permanent_failures, 1u);
+}
+
+TEST(IoEngine, DeadDeviceNeverHangsWaits) {
+  // The device is never started: no completion will ever arrive. Every wait
+  // must still terminate within its deadline and report the failure.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdArray array(1, opts);
+  IoEngineOptions io;
+  io.max_retries = 1;
+  io.request_deadline = std::chrono::milliseconds(20);
+  io.retry_backoff = std::chrono::microseconds(100);
+  io.wait_deadline = std::chrono::milliseconds(500);
+  IoEngine engine(array, 256, io);
+  std::vector<std::byte> dest(kPageBytes);
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                     dest.data());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t failures = engine.wait_all();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(failures, 1u);
+  EXPECT_LT(dt, 5.0);  // bounded, nowhere near an unbounded spin
+  EXPECT_GT(engine.retry_stats().timeouts, 0u);
+  EXPECT_EQ(engine.retry_stats().permanent_failures, 1u);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+TEST(IoEngine, StallInjectionDelaysButCompletes) {
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdArray array(1, opts);
+  std::vector<std::byte> page(kPageBytes, std::byte{0x5A});
+  array.ssd(0).write(0, page.data(), page.size());
+  FaultProfile fp;
+  fp.stall_prob = 1.0;
+  fp.stall_us = 1000;
+  array.ssd(0).inject_faults(fp);
+  IoEngine engine(array);
+  array.start_all();
+  std::vector<std::byte> dest(4 * kPageBytes);
+  for (int i = 0; i < 4; ++i) {
+    engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                       dest.data() + static_cast<std::size_t>(i) * kPageBytes);
+  }
+  EXPECT_EQ(engine.wait_all(), 0u);
+  array.stop_all();
+  EXPECT_EQ(array.ssd(0).fault_injector()->stats().injected_stalls, 4u);
+  EXPECT_EQ(dest[0], std::byte{0x5A});
+}
+
+TEST(IoEngine, HardDeviceFailureFailsFastAfterDetection) {
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdArray array(1, opts);
+  FaultProfile fp;
+  fp.fail_after_reads = 0;  // dead from the first served read
+  array.ssd(0).inject_faults(fp);
+  IoEngine engine(array);
+  array.start_all();
+  std::vector<std::byte> dest(kPageBytes);
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                     dest.data());
+  EXPECT_EQ(engine.wait_all(), 1u);
+  EXPECT_EQ(array.health(0), DeviceHealth::kFailed);
+  // Subsequent reads fail instantly without touching the device.
+  const std::uint64_t served = array.ssd(0).fault_injector()->stats().reads_seen;
+  engine.submit_read(0, 0, static_cast<std::uint32_t>(kPageBytes),
+                     dest.data());
+  EXPECT_EQ(engine.wait_all(), 1u);
+  EXPECT_EQ(array.ssd(0).fault_injector()->stats().reads_seen, served);
+  array.stop_all();
+}
+
+TEST(IoEngine, SqFullBackpressureUnderPacedDevice) {
+  // Tiny queue depth against a paced (slow) device: the submit path must
+  // apply backpressure without spurious retries, timeouts, or failures.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  opts.max_bytes_per_s = 4.0 * 1024 * 1024;
+  SsdArray array(1, opts);
+  IoEngine engine(array, /*queue_depth=*/4);
+  array.start_all();
+  std::vector<std::byte> buf(16 * kPageBytes);
+  for (int i = 0; i < 16; ++i) {
+    engine.submit_read(0, (static_cast<std::uint64_t>(i) % 16) * kPageBytes,
+                       static_cast<std::uint32_t>(kPageBytes),
+                       buf.data() + static_cast<std::size_t>(i) * kPageBytes);
+  }
+  EXPECT_EQ(engine.wait_all(), 0u);
+  array.stop_all();
+  EXPECT_EQ(engine.completed(), 16u);
+  EXPECT_EQ(engine.retry_stats().retries, 0u);
+  EXPECT_EQ(engine.retry_stats().timeouts, 0u);
+  EXPECT_EQ(engine.retry_stats().permanent_failures, 0u);
+}
+
+TEST(SsdDevice, StopWithRequestsInFlightDrains) {
+  // stop() is requested while requests sit in the SQ of a paced device; the
+  // service loop's shutdown drain must complete them all.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  opts.max_bytes_per_s = 2.0 * 1024 * 1024;
+  SsdArray array(1, opts);
+  IoEngine engine(array);
+  array.start_all();
+  std::vector<std::byte> buf(32 * kPageBytes);
+  for (int i = 0; i < 32; ++i) {
+    engine.submit_read(0, (static_cast<std::uint64_t>(i) % 16) * kPageBytes,
+                       static_cast<std::uint32_t>(kPageBytes),
+                       buf.data() + static_cast<std::size_t>(i) * kPageBytes);
+  }
+  array.stop_all();  // requests still in flight
+  EXPECT_EQ(engine.wait_all(), 0u);
+  EXPECT_EQ(engine.completed(), 32u);
+}
+
+TEST(SsdDevice, StopNeverWedgesOnFullCompletionQueue) {
+  // A client that stops polling its CQ must not wedge the service thread
+  // (the historical unbounded `while (!qp.complete(...))` spin). Fill the
+  // CQ, enqueue more work, and stop: stop() must return promptly.
+  SsdOptions opts;
+  opts.capacity_bytes = 16 * kPageBytes;
+  SsdDevice ssd(opts);
+  QueuePair* qp = ssd.create_queue_pair(/*depth=*/4);
+  ssd.start();
+  std::vector<std::byte> dest(kPageBytes);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(qp->submit({0, static_cast<std::uint32_t>(kPageBytes),
+                            dest.data(), i}));
+  }
+  // Wait until all four completions are posted (CQ now full).
+  while (ssd.stats().reads < 4) std::this_thread::yield();
+  // More work the device will try to complete against the full CQ.
+  for (std::uint64_t i = 4; i < 8; ++i) {
+    ASSERT_TRUE(qp->submit({0, static_cast<std::uint32_t>(kPageBytes),
+                            dest.data(), i}));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto t0 = std::chrono::steady_clock::now();
+  ssd.stop();  // must not hang
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(dt, 10.0);
+  // Every request is accounted: polled completions + drops == 8.
+  Cqe cqe;
+  std::size_t polled = 0;
+  while (qp->poll_completion(cqe)) ++polled;
+  EXPECT_EQ(polled + ssd.stats().dropped_completions, 8u);
+}
+
+TEST(SsdArray, HealthStateMachineTransitions) {
+  SsdOptions opts;
+  HealthOptions h;
+  h.degraded_after = 2;
+  h.failed_after = 4;
+  SsdArray array(2, opts, h);
+  EXPECT_EQ(array.health(0), DeviceHealth::kHealthy);
+
+  array.report_io_result(0, false);
+  EXPECT_EQ(array.health(0), DeviceHealth::kHealthy);  // streak 1 < 2
+  array.report_io_result(0, false);
+  EXPECT_EQ(array.health(0), DeviceHealth::kDegraded);  // streak 2
+  EXPECT_EQ(array.num_degraded(), 1u);
+
+  array.report_io_result(0, true);  // success resets and restores
+  EXPECT_EQ(array.health(0), DeviceHealth::kHealthy);
+
+  for (int i = 0; i < 4; ++i) array.report_io_result(0, false);
+  EXPECT_EQ(array.health(0), DeviceHealth::kFailed);
+  EXPECT_EQ(array.num_failed(), 1u);
+  array.report_io_result(0, true);  // failed is sticky
+  EXPECT_EQ(array.health(0), DeviceHealth::kFailed);
+  EXPECT_EQ(array.health(1), DeviceHealth::kHealthy);
+}
+
+TEST(FeatureStore, FailoverServesIdenticalBytesAndRemaps) {
+  // Device 1 hard-fails on its first served read. Gathers must still return
+  // exactly the original features (host authoritative copy), the store must
+  // remap device 1's bins onto device 0, and later gathers must hit SSDs.
+  graph::RmatParams gp;
+  gp.num_vertices = 128;
+  gp.num_edges = 600;
+  const auto g = graph::generate_rmat(gp);
+  const auto task = gnn::make_synthetic_task(g, 2, 8, 0.1, 4);
+  std::vector<BinBacking> bins = {
+      {BinBacking::Kind::kSsd, 0},
+      {BinBacking::Kind::kSsd, 1},
+  };
+  std::vector<std::int32_t> bov(128);
+  for (std::size_t v = 0; v < 128; ++v) {
+    bov[v] = static_cast<std::int32_t>(v % 2);
+  }
+  SsdOptions opts;
+  opts.capacity_bytes = 1ull << 20;  // 256 pages: room for both halves
+  SsdArray array(2, opts);
+  TieredFeatureStore store(task.features, bov, bins, array);
+  FaultProfile fp;
+  fp.fail_after_reads = 0;
+  array.ssd(1).inject_faults(fp);
+
+  IoEngineOptions io;
+  io.max_retries = 1;
+  TieredFeatureClient client(store, 256, io);
+  array.start_all();
+
+  std::vector<graph::VertexId> vs;
+  for (graph::VertexId v = 0; v < 128; ++v) vs.push_back(v);
+  gnn::Tensor out(vs.size(), 8);
+  client.gather(vs, out);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      ASSERT_FLOAT_EQ(out.at(i, c), task.features.at(vs[i], c))
+          << "vertex " << vs[i] << " after device failure";
+    }
+  }
+  EXPECT_EQ(array.health(1), DeviceHealth::kFailed);
+  EXPECT_GT(client.stats().failovers, 0u);
+  EXPECT_EQ(store.device_remaps(), 1u);
+
+  // After the remap every vertex resolves to device 0 (or a cache tier);
+  // a fresh gather reads SSD 0 only and still returns the right bytes.
+  const auto reads_before = array.ssd(0).stats().reads;
+  gnn::Tensor out2(vs.size(), 8);
+  client.gather(vs, out2);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const auto loc = store.location(vs[i]);
+    EXPECT_EQ(loc.ssd, 0) << "vertex " << vs[i] << " not remapped";
+    for (std::size_t c = 0; c < 8; ++c) {
+      ASSERT_FLOAT_EQ(out2.at(i, c), task.features.at(vs[i], c));
+    }
+  }
+  EXPECT_GT(array.ssd(0).stats().reads, reads_before);
+  array.stop_all();
+
+  const auto r = client.io_resilience();
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_EQ(r.device_remaps, 1u);
+  EXPECT_EQ(r.devices_failed, 1u);
+}
+
+TEST(FeatureStore, GatherWaitFailurePathLeavesSlotReusable) {
+  // All devices fail permanently and capacity blocks any remap: gather_wait
+  // must still serve every row (host copy) and leave the slot reusable.
+  graph::RmatParams gp;
+  gp.num_vertices = 64;
+  gp.num_edges = 200;
+  const auto g = graph::generate_rmat(gp);
+  const auto task = gnn::make_synthetic_task(g, 2, 8, 0.1, 6);
+  std::vector<BinBacking> bins = {{BinBacking::Kind::kSsd, 0}};
+  std::vector<std::int32_t> bov(64, 0);
+  SsdOptions opts;
+  opts.capacity_bytes = 64 * kPageBytes;  // exactly full: no failover slots
+  SsdArray array(1, opts);
+  TieredFeatureStore store(task.features, bov, bins, array);
+  FaultProfile fp;
+  fp.fail_after_reads = 0;
+  array.ssd(0).inject_faults(fp);
+  IoEngineOptions io;
+  io.max_retries = 1;
+  TieredFeatureClient client(store, 256, io);
+  array.start_all();
+
+  std::vector<graph::VertexId> vs = {1, 5, 9, 33};
+  for (int round = 0; round < 3; ++round) {  // slot must be reusable
+    gnn::Tensor out(vs.size(), 8);
+    client.gather(vs, out);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      for (std::size_t c = 0; c < 8; ++c) {
+        ASSERT_FLOAT_EQ(out.at(i, c), task.features.at(vs[i], c))
+            << "round " << round;
+      }
+    }
+  }
+  array.stop_all();
+  EXPECT_GT(client.stats().failovers, 0u);
+}
+
+}  // namespace
+}  // namespace moment::iostack
+
+namespace moment::ddak {
+namespace {
+
+DataPlacementResult make_placement(std::span<const Bin> bins,
+                                   std::span<const std::int32_t> bov) {
+  DataPlacementResult p;
+  p.bin_of_vertex.assign(bov.begin(), bov.end());
+  p.bin_access.assign(bins.size(), 0.0);
+  p.bin_count.assign(bins.size(), 0);
+  p.bin_traffic_share.assign(bins.size(), 0.0);
+  for (std::int32_t b : bov) {
+    ++p.bin_count[static_cast<std::size_t>(b)];
+    p.bin_access[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double total = static_cast<double>(bov.size());
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    p.bin_traffic_share[b] = p.bin_access[b] / total;
+  }
+  return p;
+}
+
+std::vector<Bin> three_ssd_bins(double capacity) {
+  std::vector<Bin> bins(3);
+  for (std::size_t b = 0; b < 3; ++b) {
+    bins[b].name = "SSD" + std::to_string(b);
+    bins[b].tier = topology::StorageTier::kSsd;
+    bins[b].capacity_vertices = capacity;
+    bins[b].traffic_target = 1.0;
+  }
+  return bins;
+}
+
+TEST(Failover, PlanCoversAllResidentsWhenCapacityAllows) {
+  const auto bins = three_ssd_bins(100.0);
+  std::vector<std::int32_t> bov(90);
+  for (std::size_t v = 0; v < 90; ++v) {
+    bov[v] = static_cast<std::int32_t>(v % 3);
+  }
+  auto placement = make_placement(bins, bov);
+  const std::size_t failed[] = {1};
+  const auto moves = plan_bin_failover(bins, placement, failed);
+  ASSERT_EQ(moves.size(), 30u);  // every resident of bin 1 is re-placed
+  for (const auto& m : moves) {
+    EXPECT_EQ(placement.bin_of_vertex[m.vertex], 1);
+    EXPECT_TRUE(m.to_bin == 0 || m.to_bin == 2);
+  }
+  apply_failover(bins, placement, moves);
+  EXPECT_EQ(placement.bin_count[1], 0u);
+  EXPECT_EQ(placement.bin_count[0] + placement.bin_count[2], 90u);
+  // Survivors stay balanced (greedy min-fill): 45/45.
+  EXPECT_EQ(placement.bin_count[0], 45u);
+  EXPECT_EQ(placement.bin_count[2], 45u);
+  EXPECT_NEAR(placement.bin_traffic_share[0] + placement.bin_traffic_share[2],
+              1.0, 1e-9);
+}
+
+TEST(Failover, CapacityBoundLeavesUnplaceableVerticesBehind) {
+  const auto bins = three_ssd_bins(32.0);  // 30 resident + 2 spare each
+  std::vector<std::int32_t> bov(90);
+  for (std::size_t v = 0; v < 90; ++v) {
+    bov[v] = static_cast<std::int32_t>(v % 3);
+  }
+  const auto placement = make_placement(bins, bov);
+  const std::size_t failed[] = {1};
+  const auto moves = plan_bin_failover(bins, placement, failed);
+  EXPECT_EQ(moves.size(), 4u);  // only 2+2 spare slots exist
+}
+
+TEST(Failover, AdaptivePlacerFailBinMovesResidentsAndZeroesBin) {
+  auto bins = three_ssd_bins(100.0);
+  std::vector<std::int32_t> bov(60);
+  for (std::size_t v = 0; v < 60; ++v) {
+    bov[v] = static_cast<std::int32_t>(v % 3);
+  }
+  auto placement = make_placement(bins, bov);
+  AdaptivePlacer placer(bins, placement);
+  std::vector<graph::VertexId> accesses;
+  for (graph::VertexId v = 0; v < 60; ++v) accesses.push_back(v);
+  placer.observe(accesses);
+
+  const auto stats = placer.fail_bin(2);
+  EXPECT_EQ(stats.migrated, 20u);
+  EXPECT_EQ(placer.placement().bin_count[2], 0u);
+  EXPECT_EQ(placer.bins()[2].capacity_vertices, 0.0);
+  EXPECT_EQ(placer.bins()[2].traffic_target, 0.0);
+  for (std::int32_t b : placer.placement().bin_of_vertex) {
+    EXPECT_NE(b, 2);
+  }
+}
+
+}  // namespace
+}  // namespace moment::ddak
+
+namespace moment::sim {
+namespace {
+
+TEST(DegradedSim, FailedSsdRaisesIoTimeAndErrorsAmplifyBytes) {
+  const auto bench = runtime::Workbench::make(graph::DatasetId::kIG, 3, 42);
+  const auto workload = ddak::make_epoch_workload(
+      bench.dataset, bench.profile, ddak::CacheConfig{}, 4);
+  const auto spec = topology::make_machine_a();
+  const auto topo = topology::instantiate(
+      spec, topology::classic_placement(spec, 'c', 4, 8));
+  const auto fg = topology::compile_flow_graph(topo);
+  const auto pred = topology::predict(
+      fg, ddak::to_flow_demand(workload, fg, ddak::SupplyModel::kUniformHash));
+  auto bins = ddak::make_bins(topo, fg, pred.per_storage_bytes,
+                              bench.dataset.scaled.vertices, 0.005, 0.01);
+  const auto merged = merge_replicated_gpu_bins(bins);
+  const auto place = ddak::hash_place(merged, bench.profile);
+
+  SimOptions healthy;
+  const auto base = simulate_epoch(topo, fg, workload, merged, place, healthy);
+  EXPECT_EQ(base.failed_ssds, 0u);
+  EXPECT_DOUBLE_EQ(base.retry_read_amplification, 1.0);
+
+  SimOptions degraded = healthy;
+  degraded.failed_ssd_ordinals = {0};
+  const auto deg =
+      simulate_epoch(topo, fg, workload, merged, place, degraded);
+  EXPECT_EQ(deg.failed_ssds, 1u);
+  // Survivors absorb the failed device's traffic: IO can only get slower.
+  EXPECT_GE(deg.io_round_time_s, base.io_round_time_s * 0.999);
+
+  SimOptions faulty = healthy;
+  faulty.ssd_transient_error_rate = 0.2;  // retry amp 1.25x
+  const auto amp = simulate_epoch(topo, fg, workload, merged, place, faulty);
+  EXPECT_NEAR(amp.retry_read_amplification, 1.25, 1e-9);
+  EXPECT_GT(amp.io_round_time_s, base.io_round_time_s);
+}
+
+}  // namespace
+}  // namespace moment::sim
