@@ -63,6 +63,16 @@ int main(int argc, char** argv) {
                                     plan.data_placement.bin_of_vertex,
                                     backings, array);
 
+  // Shared hot-row cache between the static tiers and the SSDs, seeded from
+  // the pre-sampling hotness profile (the same one DDAK placed by).
+  iostack::RowCacheOptions cache_opts;
+  cache_opts.capacity_rows = g.num_vertices() / 16;
+  store.enable_row_cache(cache_opts);
+  const std::size_t warmed =
+      store.warm_row_cache(bench.profile.by_hotness_desc());
+  std::printf("hot-row cache: %zu rows capacity, %zu seeded from hotness\n",
+              cache_opts.capacity_rows, warmed);
+
   std::vector<std::unique_ptr<iostack::TieredFeatureClient>> clients;
   std::vector<gnn::FeatureProvider*> providers;
   for (int w = 0; w < workers; ++w) {
@@ -97,6 +107,7 @@ int main(int argc, char** argv) {
                 stats.stage_max.compute_s, stats.stage_max.optimizer_s,
                 stats.allreduce_s, stats.stage_max.hidden_io_s,
                 100.0 * stats.overlap_ratio);
+    std::printf("  %s\n", runtime::io_report(stats).c_str());
   }
   array.stop_all();
 

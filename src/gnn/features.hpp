@@ -43,9 +43,10 @@ class FeatureProvider {
   /// Completes the gather identified by `ticket`. A kSyncTicket is a no-op.
   virtual void gather_wait(GatherTicket ticket) { (void)ticket; }
 
-  /// IO resilience telemetry: how much fault-recovery work gathers needed.
-  /// Counters are cumulative since construction; the gauges reflect the
-  /// backing device array now. Providers without a faultable backend (e.g.
+  /// IO telemetry: fault-recovery work plus the IO-reduction pipeline's
+  /// effect (dedup, run coalescing, shared hot-row cache). Counters are
+  /// cumulative since construction; the gauges reflect the backing device
+  /// array now. Providers without a faultable backend (e.g.
   /// InMemoryFeatures) report all-zero.
   struct IoResilience {
     std::uint64_t retries = 0;
@@ -58,6 +59,29 @@ class FeatureProvider {
     std::uint64_t device_remaps = 0;
     std::uint32_t devices_degraded = 0;
     std::uint32_t devices_failed = 0;
+
+    // IO-reduction pipeline (all zero when the provider has none).
+    /// SSD reads the naive path would have issued that in-batch dedup
+    /// collapsed away.
+    std::uint64_t dedup_saved_reads = 0;
+    /// Feature rows actually fetched from the SSDs.
+    std::uint64_t ssd_rows = 0;
+    /// Commands issued after run coalescing (<= ssd_rows).
+    std::uint64_t ssd_commands = 0;
+    /// Commands that carried two or more adjacent rows.
+    std::uint64_t coalesced_commands = 0;
+    /// Shared hot-row cache traffic; evictions/invalidations are cache-wide
+    /// (shared by all clients of a store).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+
+    /// Average rows per issued SSD command (0 when nothing was issued).
+    double coalesce_rows_per_cmd() const noexcept {
+      return ssd_commands > 0 ? static_cast<double>(ssd_rows) /
+                                    static_cast<double>(ssd_commands)
+                              : 0.0;
+    }
   };
   virtual IoResilience io_resilience() const { return {}; }
 };

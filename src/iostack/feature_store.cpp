@@ -125,6 +125,27 @@ TieredFeatureStore::TieredFeatureStore(
   }
 }
 
+void TieredFeatureStore::enable_row_cache(const RowCacheOptions& options) {
+  row_cache_ = options.capacity_rows > 0
+                   ? std::make_unique<RowCache>(options, dim_)
+                   : nullptr;
+}
+
+std::size_t TieredFeatureStore::warm_row_cache(
+    std::span<const graph::VertexId> by_hotness_desc) {
+  if (row_cache_ == nullptr) return 0;
+  std::size_t seeded = 0;
+  for (graph::VertexId v : by_hotness_desc) {
+    if (seeded >= row_cache_->capacity_rows()) break;
+    // Only SSD-resident vertices belong in the cache; the static tiers
+    // already hold the rest in DRAM/HBM.
+    if (v >= host_index_.size() || host_index_[v] < 0) continue;
+    row_cache_->insert(v, authoritative_row(v));
+    ++seeded;
+  }
+  return seeded;
+}
+
 std::span<const float> TieredFeatureStore::authoritative_row(
     graph::VertexId v) const {
   const std::int64_t idx = host_index_[v];
@@ -209,14 +230,21 @@ bool TieredFeatureStore::remap_failed_device(std::size_t ssd) {
     loc.index = static_cast<std::uint32_t>(slot);
     loc_[m.vertex].store(pack(loc), std::memory_order_release);
   }
+  // Failover invalidation rule: drop the whole shared cache so no gather
+  // mixes admission decisions made against the old placement. Cached bytes
+  // are always authoritative-identical, so this costs warm-up, not
+  // correctness — the chaos harness stays bit-identical either way.
+  if (row_cache_ != nullptr) row_cache_->invalidate_all();
   device_remaps_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 TieredFeatureClient::TieredFeatureClient(TieredFeatureStore& store,
                                          std::size_t queue_depth,
-                                         IoEngineOptions io_options)
-    : store_(store), engine_(store.array(), queue_depth, io_options) {}
+                                         IoEngineOptions io_options,
+                                         GatherOptions gather_options)
+    : store_(store), engine_(store.array(), queue_depth, io_options),
+      gather_options_(gather_options) {}
 
 void TieredFeatureClient::serve_from_host(graph::VertexId v, gnn::Tensor& out,
                                           std::size_t out_row) {
@@ -230,6 +258,8 @@ void TieredFeatureClient::reset_slot(Slot& slot) noexcept {
   slot.group = 0;
   slot.out = nullptr;
   slot.pending.clear();
+  slot.runs.clear();
+  slot.dups.clear();
 }
 
 void TieredFeatureClient::gather(std::span<const graph::VertexId> vertices,
@@ -255,12 +285,60 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
   }
 
   const std::size_t row_bytes = store_.row_bytes();
-  slot->bounce.resize(vertices.size() * row_bytes);
+  const bool dedup = gather_options_.dedup;
+  RowCache* cache = gather_options_.use_cache ? store_.row_cache() : nullptr;
   slot->pending.clear();
+  slot->runs.clear();
+  slot->dups.clear();
   scratch_reqs_.clear();
+  scratch_targets_.clear();
+  if (dedup) scratch_first_.clear();
+
+  // Per-batch device-health snapshot: one atomic load per device per gather
+  // instead of one per SSD-resident vertex. Refreshed after a remap (the
+  // only event that moves rows between devices mid-batch).
+  const std::size_t num_ssds = store_.array().size();
+  scratch_health_.resize(num_ssds);
+  const auto snapshot_health = [&] {
+    for (std::size_t s = 0; s < num_ssds; ++s) {
+      scratch_health_[s] = store_.array().health(s);
+    }
+  };
+  snapshot_health();
+
+  // First-occurrence map: bit 31 marks rows whose bytes are still in flight
+  // (duplicates of those replicate at scatter time instead of now).
+  constexpr std::uint32_t kInFlightBit = 0x80000000u;
 
   for (std::size_t i = 0; i < vertices.size(); ++i) {
-    TieredFeatureStore::Location loc = store_.location(vertices[i]);
+    const graph::VertexId v = vertices[i];
+    std::uint32_t* first_entry = nullptr;
+    if (dedup) {
+      const auto [it, inserted] =
+          scratch_first_.try_emplace(v, static_cast<std::uint32_t>(i));
+      if (!inserted) {
+        // Duplicate vertex: one copy already exists (or is in flight) in
+        // this batch's output — replicate it instead of re-fetching.
+        const std::uint32_t first = it->second;
+        if ((first & kInFlightBit) != 0) {
+          slot->dups.push_back(
+              {static_cast<std::uint32_t>(i), first & ~kInFlightBit});
+          ++stats_.dedup_saved_reads;
+        } else {
+          const auto src = out.row(first);
+          std::copy(src.begin(), src.end(), out.row(i).begin());
+          switch (store_.location(v).kind) {
+            case BinBacking::Kind::kGpuCache: ++stats_.gpu_hits; break;
+            case BinBacking::Kind::kCpuCache: ++stats_.cpu_hits; break;
+            case BinBacking::Kind::kSsd: ++stats_.dedup_saved_reads; break;
+          }
+        }
+        continue;
+      }
+      first_entry = &it->second;
+    }
+
+    TieredFeatureStore::Location loc = store_.location(v);
     switch (loc.kind) {
       case BinBacking::Kind::kGpuCache: {
         const auto src = store_.gpu_cache().row(loc.index);
@@ -276,23 +354,28 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
       }
       case BinBacking::Kind::kSsd: {
         auto ssd = static_cast<std::size_t>(loc.ssd);
-        if (store_.array().health(ssd) == DeviceHealth::kFailed) {
+        if (scratch_health_[ssd] == DeviceHealth::kFailed) {
           // Known-dead device: trigger the remap (idempotent), re-read the
           // location, and fall back to the host copy if it didn't move.
           if (store_.remap_failed_device(ssd)) ++stats_.device_remaps;
-          loc = store_.location(vertices[i]);
+          snapshot_health();
+          loc = store_.location(v);
           ssd = static_cast<std::size_t>(loc.ssd);
           if (loc.kind != BinBacking::Kind::kSsd ||
-              store_.array().health(ssd) == DeviceHealth::kFailed) {
-            serve_from_host(vertices[i], out, i);
+              scratch_health_[ssd] == DeviceHealth::kFailed) {
+            serve_from_host(v, out, i);
             break;
           }
         }
-        const std::size_t off = i * row_bytes;
-        scratch_reqs_.push_back(
-            {ssd, static_cast<std::uint64_t>(loc.index) * row_bytes,
-             static_cast<std::uint32_t>(row_bytes), slot->bounce.data() + off});
-        slot->pending.push_back({i, off, vertices[i]});
+        if (cache != nullptr && cache->lookup(v, out.row(i))) {
+          ++stats_.cache_hits;
+          break;
+        }
+        if (cache != nullptr) ++stats_.cache_misses;
+        scratch_targets_.push_back({static_cast<std::uint32_t>(ssd),
+                                    loc.index, v,
+                                    static_cast<std::uint32_t>(i)});
+        if (first_entry != nullptr) *first_entry |= kInFlightBit;
         ++stats_.ssd_reads;
         stats_.ssd_bytes += row_bytes;
         break;
@@ -300,9 +383,56 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
     }
   }
 
-  if (scratch_reqs_.empty()) {
-    return kSyncTicket;  // served entirely from the cache tiers
+  if (scratch_targets_.empty()) {
+    // Served entirely from the cache tiers (dups of in-flight rows can only
+    // exist when at least one target is in flight).
+    return kSyncTicket;
   }
+
+  // Run coalescing: sort the unique targets by (ssd, row index) and merge
+  // runs of adjacent rows into single multi-row commands, bounded by the
+  // transfer-size knob. Equal indices (dedup off) never extend a run.
+  std::sort(scratch_targets_.begin(), scratch_targets_.end(),
+            [](const SsdTarget& a, const SsdTarget& b) {
+              return a.ssd != b.ssd ? a.ssd < b.ssd : a.index < b.index;
+            });
+  const std::size_t max_bytes = std::clamp(gather_options_.max_transfer_bytes,
+                                           row_bytes, kMaxTransferBytes);
+  const std::uint32_t max_rows =
+      gather_options_.coalesce
+          ? static_cast<std::uint32_t>(max_bytes / row_bytes)
+          : 1u;
+
+  slot->bounce.resize(scratch_targets_.size() * row_bytes);
+  std::size_t off = 0;
+  std::size_t t = 0;
+  while (t < scratch_targets_.size()) {
+    const std::size_t run_begin = t;
+    const SsdTarget& first = scratch_targets_[t];
+    std::uint32_t rows = 1;
+    ++t;
+    while (t < scratch_targets_.size() && rows < max_rows &&
+           scratch_targets_[t].ssd == first.ssd &&
+           scratch_targets_[t].index == first.index + rows) {
+      ++rows;
+      ++t;
+    }
+    const auto run_id = static_cast<std::uint32_t>(slot->runs.size());
+    scratch_reqs_.push_back(
+        {first.ssd, static_cast<std::uint64_t>(first.index) * row_bytes,
+         static_cast<std::uint32_t>(rows * row_bytes),
+         slot->bounce.data() + off});
+    slot->runs.push_back({off, rows, false});
+    for (std::uint32_t k = 0; k < rows; ++k) {
+      const SsdTarget& tk = scratch_targets_[run_begin + k];
+      slot->pending.push_back(
+          {tk.out_row, off + k * row_bytes, tk.vertex, run_id});
+    }
+    off += static_cast<std::size_t>(rows) * row_bytes;
+    ++stats_.ssd_commands;
+    if (rows > 1) ++stats_.coalesced_commands;
+  }
+
   slot->group = engine_.group_begin();
   engine_.submit_batch(scratch_reqs_);
   engine_.group_end(slot->group);
@@ -328,39 +458,42 @@ void TieredFeatureClient::gather_wait(GatherTicket ticket) {
     scratch_failed_.clear();
     engine_.wait_group(slot->group, scratch_failed_);
 
-    // Identify which pending rows failed (by bounce offset) so successes are
-    // scattered from the bounce buffer and failures from the host copy.
-    std::vector<bool> row_failed;
+    // A coalesced command fails as a unit: mark its run (located by binary
+    // search over the ascending bounce offsets) so every row it carried is
+    // served from the host copy instead of the bounce buffer.
     std::size_t failed_ssds_mask = 0;
-    if (!scratch_failed_.empty()) {
-      row_failed.assign(slot->pending.size(), false);
-      for (const FailedRead& fr : scratch_failed_) {
-        const auto off =
-            static_cast<std::size_t>(fr.dest - slot->bounce.data());
-        // pending rows are appended in ascending bounce_off order, so the
-        // failed row is located by binary search over bounce_off.
-        const auto it = std::lower_bound(
-            slot->pending.begin(), slot->pending.end(), off,
-            [](const PendingRow& p, std::size_t o) { return p.bounce_off < o; });
-        if (it != slot->pending.end() && it->bounce_off == off) {
-          row_failed[static_cast<std::size_t>(it - slot->pending.begin())] =
-              true;
-        }
-        if (fr.ssd < sizeof(failed_ssds_mask) * 8) {
-          failed_ssds_mask |= std::size_t{1} << fr.ssd;
-        }
+    for (const FailedRead& fr : scratch_failed_) {
+      const auto off = static_cast<std::size_t>(fr.dest - slot->bounce.data());
+      const auto it = std::lower_bound(
+          slot->runs.begin(), slot->runs.end(), off,
+          [](const Run& r, std::size_t o) { return r.bounce_off < o; });
+      if (it != slot->runs.end() && it->bounce_off == off) it->failed = true;
+      if (fr.ssd < sizeof(failed_ssds_mask) * 8) {
+        failed_ssds_mask |= std::size_t{1} << fr.ssd;
       }
     }
 
+    RowCache* cache =
+        gather_options_.use_cache ? store_.row_cache() : nullptr;
     const std::size_t raw = store_.dim() * sizeof(float);
-    for (std::size_t p = 0; p < slot->pending.size(); ++p) {
-      const PendingRow& pr = slot->pending[p];
-      if (!row_failed.empty() && row_failed[p]) {
+    for (const PendingRow& pr : slot->pending) {
+      if (slot->runs[pr.run].failed) {
         serve_from_host(pr.vertex, *slot->out, pr.out_row);
       } else {
         std::memcpy(slot->out->row(pr.out_row).data(),
                     slot->bounce.data() + pr.bounce_off, raw);
       }
+      // Fill the shared cache on completion. Failover rows are admitted
+      // too: the host copy carries the exact device bytes.
+      if (cache != nullptr) {
+        cache->insert(pr.vertex, slot->out->row(pr.out_row));
+      }
+    }
+
+    // Replicate duplicate occurrences from the first (just-scattered) copy.
+    for (const DupRow& d : slot->dups) {
+      const auto src = slot->out->row(d.src_row);
+      std::copy(src.begin(), src.end(), slot->out->row(d.out_row).begin());
     }
 
     // Hard-failed devices get their bins re-placed so future gathers hit
@@ -390,6 +523,15 @@ gnn::FeatureProvider::IoResilience TieredFeatureClient::io_resilience() const {
   r.permanent_failures = rs.permanent_failures;
   r.failovers = stats_.failovers;
   r.device_remaps = store_.device_remaps();
+  r.dedup_saved_reads = stats_.dedup_saved_reads;
+  r.ssd_rows = stats_.ssd_reads;
+  r.ssd_commands = stats_.ssd_commands;
+  r.coalesced_commands = stats_.coalesced_commands;
+  r.cache_hits = stats_.cache_hits;
+  r.cache_misses = stats_.cache_misses;
+  if (const RowCache* cache = store_.row_cache()) {
+    r.cache_evictions = cache->stats().evictions;
+  }
   r.devices_degraded =
       static_cast<std::uint32_t>(store_.array().num_degraded());
   r.devices_failed = static_cast<std::uint32_t>(store_.array().num_failed());

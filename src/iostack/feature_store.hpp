@@ -18,9 +18,11 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "gnn/features.hpp"
+#include "iostack/row_cache.hpp"
 #include "iostack/ssd.hpp"
 
 namespace moment::iostack {
@@ -35,13 +37,50 @@ struct BinBacking {
 struct GatherStats {
   std::uint64_t gpu_hits = 0;
   std::uint64_t cpu_hits = 0;
+  /// Feature rows fetched from the SSDs (post dedup and cache; with both
+  /// disabled this equals the naive one-read-per-occurrence count).
   std::uint64_t ssd_reads = 0;
   std::uint64_t ssd_bytes = 0;
+  /// Commands actually issued after run coalescing (<= ssd_reads).
+  std::uint64_t ssd_commands = 0;
+  /// Commands that carried two or more adjacent rows.
+  std::uint64_t coalesced_commands = 0;
+  /// SSD reads the naive path would have issued for duplicate vertices in a
+  /// batch that in-batch dedup collapsed onto one read.
+  std::uint64_t dedup_saved_reads = 0;
+  /// Shared hot-row cache traffic, from this client's perspective.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   /// Rows served from the host authoritative copy after permanent failures.
   std::uint64_t failovers = 0;
   /// Failed-device remaps this client triggered (store-wide remaps may be
   /// triggered by any client; each is counted once per store).
   std::uint64_t device_remaps = 0;
+
+  /// Average rows per issued command (1.0 with coalescing off).
+  double coalesce_rows_per_cmd() const noexcept {
+    return ssd_commands > 0
+               ? static_cast<double>(ssd_reads) /
+                     static_cast<double>(ssd_commands)
+               : 0.0;
+  }
+};
+
+/// Per-client IO-reduction knobs for the gather path. Each stage composes on
+/// the previous one and every combination returns byte-identical results —
+/// the bench toggles them independently to attribute the command savings.
+struct GatherOptions {
+  /// Collapse duplicate vertices in a batch onto one SSD read (hub vertices
+  /// appear many times in sampled blocks) and one cache-tier copy.
+  bool dedup = true;
+  /// Merge runs of adjacent SSD row indices into single multi-row commands.
+  bool coalesce = true;
+  /// Upper bound on one coalesced command (clamped to [row_bytes,
+  /// kMaxTransferBytes]).
+  std::size_t max_transfer_bytes = kMaxTransferBytes;
+  /// Consult/fill the store's shared hot-row cache (no-op until the store
+  /// enables one).
+  bool use_cache = true;
 };
 
 /// Shared layout: writes SSD-resident rows to the devices (the one-off
@@ -94,6 +133,19 @@ class TieredFeatureStore {
     return device_remaps_.load(std::memory_order_relaxed);
   }
 
+  /// Enables the shared hot-row DRAM cache consulted by every client before
+  /// it builds SSD requests. Call before gathering starts (clients hold a
+  /// plain pointer). capacity_rows == 0 disables it again.
+  void enable_row_cache(const RowCacheOptions& options);
+  RowCache* row_cache() noexcept { return row_cache_.get(); }
+  const RowCache* row_cache() const noexcept { return row_cache_.get(); }
+
+  /// Seeds the cache from a hotness order (sampling::HotnessProfile::
+  /// by_hotness_desc): walks `by_hotness_desc` and inserts the authoritative
+  /// rows of SSD-resident vertices until the cache is full or the order is
+  /// exhausted. Returns the number of rows seeded.
+  std::size_t warm_row_cache(std::span<const graph::VertexId> by_hotness_desc);
+
  private:
   friend class TieredFeatureClient;
 
@@ -122,13 +174,23 @@ class TieredFeatureStore {
   std::vector<std::uint32_t> ssd_next_slot_;
   std::vector<bool> device_remapped_;
   std::atomic<std::uint64_t> device_remaps_{0};
+
+  /// Shared hot-row cache (nullptr until enabled). Invalidated wholesale by
+  /// remap_failed_device so post-failover gathers never mix cache decisions
+  /// made against the old placement.
+  std::unique_ptr<RowCache> row_cache_;
 };
 
 /// Per-GPU gather client. Implements gnn::FeatureProvider so the trainer can
 /// run end-to-end through the IO stack. The async gather_begin/gather_wait
-/// protocol serves cache tiers immediately, submits SSD reads as one
-/// completion group, and scatters the bounce-buffered rows at wait time.
-/// Two staging slots allow two batches in flight (pipelined prefetch).
+/// protocol serves cache tiers immediately, then runs the IO-reduction
+/// pipeline on the SSD-resident remainder — in-batch dedup (one read per
+/// unique row), shared hot-row cache lookup, and run coalescing (adjacent
+/// rows merged into multi-row commands) — submits the surviving commands as
+/// one completion group, and scatters/replicates the bounce-buffered rows at
+/// wait time. Two staging slots allow two batches in flight (pipelined
+/// prefetch). Every GatherOptions combination is byte-identical; only the
+/// command count changes.
 ///
 /// Failures are recovered, not thrown: a read that permanently fails is
 /// served from the store's authoritative copy (same bytes), and a hard
@@ -138,7 +200,8 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
  public:
   explicit TieredFeatureClient(TieredFeatureStore& store,
                                std::size_t queue_depth = 256,
-                               IoEngineOptions io_options = {});
+                               IoEngineOptions io_options = {},
+                               GatherOptions gather_options = {});
 
   std::size_t dim() const override { return store_.dim(); }
   void gather(std::span<const graph::VertexId> vertices,
@@ -152,12 +215,40 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
   const GatherStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
   const IoEngine& engine() const noexcept { return engine_; }
+  const GatherOptions& gather_options() const noexcept {
+    return gather_options_;
+  }
 
  private:
+  /// One unique SSD row in flight: where its bytes land in the bounce
+  /// buffer, which output row receives the first copy, and which coalesced
+  /// command carries it.
   struct PendingRow {
     std::size_t out_row;
     std::size_t bounce_off;
     graph::VertexId vertex;
+    std::uint32_t run;
+  };
+  /// One coalesced command (a run of adjacent rows on one SSD). Failure is
+  /// per command: if it permanently fails, every row it carried is served
+  /// from the host copy.
+  struct Run {
+    std::size_t bounce_off;
+    std::uint32_t rows;
+    bool failed;
+  };
+  /// A duplicate occurrence whose source row is still in flight at
+  /// gather_begin time; replicated out-of-buffer at wait time.
+  struct DupRow {
+    std::uint32_t out_row;
+    std::uint32_t src_row;
+  };
+  /// A unique SSD target before coalescing.
+  struct SsdTarget {
+    std::uint32_t ssd;
+    std::uint32_t index;
+    graph::VertexId vertex;
+    std::uint32_t out_row;
   };
   /// One in-flight gather: its SSD completion group, the rows to scatter,
   /// and a dedicated bounce buffer (per-slot, so prefetch never overwrites
@@ -167,6 +258,8 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
     std::uint64_t group = 0;
     gnn::Tensor* out = nullptr;
     std::vector<PendingRow> pending;
+    std::vector<Run> runs;
+    std::vector<DupRow> dups;
     std::vector<std::byte> bounce;  // page-aligned staging for SSD reads
   };
 
@@ -176,11 +269,19 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
 
   TieredFeatureStore& store_;
   IoEngine engine_;
+  GatherOptions gather_options_;
   GatherStats stats_;
   Slot slots_[2];
   std::uint64_t next_ticket_ = 1;
   std::vector<ReadRequest> scratch_reqs_;
   std::vector<FailedRead> scratch_failed_;
+  std::vector<SsdTarget> scratch_targets_;
+  /// Per-batch device-health snapshot: one atomic load per device per
+  /// gather instead of one per vertex.
+  std::vector<DeviceHealth> scratch_health_;
+  /// First occurrence of each vertex in the current batch; value is the
+  /// output row, with bit 31 set while the row is still in flight.
+  std::unordered_map<graph::VertexId, std::uint32_t> scratch_first_;
 };
 
 }  // namespace moment::iostack

@@ -1,0 +1,120 @@
+#include "iostack/row_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace moment::iostack {
+
+RowCache::RowCache(const RowCacheOptions& options, std::size_t dim)
+    : dim_(dim) {
+  const std::size_t cap = options.capacity_rows;
+  // Every shard must hold at least one row; tiny caches collapse to fewer
+  // shards so eviction still happens at the configured total capacity.
+  std::size_t shards = std::max<std::size_t>(1, options.shards);
+  shards = std::min(shards, std::max<std::size_t>(1, cap));
+  rows_per_shard_ = cap == 0 ? 0 : (cap + shards - 1) / shards;
+  capacity_rows_ = rows_per_shard_ * shards;
+  shards_ = std::vector<Shard>(shards);
+  for (Shard& s : shards_) {
+    s.index.reserve(rows_per_shard_);
+    s.slot_vertex.assign(rows_per_shard_, 0);
+    s.ref.assign(rows_per_shard_, 0);
+    s.rows.assign(rows_per_shard_ * dim_, 0.0f);
+  }
+}
+
+RowCache::Shard& RowCache::shard_of(graph::VertexId v) noexcept {
+  // Fibonacci hash spreads consecutive vertex ids across shards so adjacent
+  // hot rows don't serialize on one mutex.
+  const std::uint32_t h = v * 2654435761u;
+  return shards_[h % shards_.size()];
+}
+
+std::size_t RowCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.index.size();
+  }
+  return n;
+}
+
+bool RowCache::lookup(graph::VertexId v, std::span<float> out) {
+  if (rows_per_shard_ == 0) return false;
+  Shard& s = shard_of(v);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(v);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return false;
+  }
+  const std::size_t slot = it->second;
+  std::memcpy(out.data(), s.rows.data() + slot * dim_, dim_ * sizeof(float));
+  s.ref[slot] = 1;
+  ++s.stats.hits;
+  return true;
+}
+
+void RowCache::insert(graph::VertexId v, std::span<const float> row) {
+  if (rows_per_shard_ == 0) return;
+  Shard& s = shard_of(v);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(v);
+  if (it != s.index.end()) {
+    // Row bytes never change; a re-insert is just a touch.
+    s.ref[it->second] = 1;
+    return;
+  }
+  std::size_t slot;
+  if (s.used < rows_per_shard_) {
+    slot = s.used++;
+  } else {
+    // CLOCK: sweep the hand, giving referenced rows a second chance.
+    while (s.ref[s.hand] != 0) {
+      s.ref[s.hand] = 0;
+      s.hand = (s.hand + 1) % rows_per_shard_;
+    }
+    slot = s.hand;
+    s.hand = (s.hand + 1) % rows_per_shard_;
+    s.index.erase(s.slot_vertex[slot]);
+    ++s.stats.evictions;
+  }
+  s.slot_vertex[slot] = v;
+  s.ref[slot] = 1;
+  std::memcpy(s.rows.data() + slot * dim_, row.data(), dim_ * sizeof(float));
+  s.index.emplace(v, static_cast<std::uint32_t>(slot));
+  ++s.stats.insertions;
+}
+
+void RowCache::invalidate_all() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stats.invalidations += s.index.size();
+    s.index.clear();
+    std::fill(s.ref.begin(), s.ref.end(), std::uint8_t{0});
+    s.used = 0;
+    s.hand = 0;
+  }
+}
+
+RowCacheStats RowCache::stats() const {
+  RowCacheStats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.insertions += s.stats.insertions;
+    total.evictions += s.stats.evictions;
+    total.invalidations += s.stats.invalidations;
+  }
+  return total;
+}
+
+void RowCache::reset_stats() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stats = {};
+  }
+}
+
+}  // namespace moment::iostack

@@ -1,0 +1,99 @@
+#pragma once
+// Shared hot-row DRAM cache for SSD-resident feature rows. The static DDAK
+// placement pins the *globally* hottest vertices in the GPU/CPU tiers; this
+// cache catches rows that are hot *this epoch* but missed the static tiers
+// (LSM-GNN's observation: a cross-GPU NVMe feature cache is the single
+// biggest lever in storage-based multi-GPU training, and Data Tiering shows
+// hotness-seeded admission makes it effective at small sizes).
+//
+// One instance is owned by TieredFeatureStore and shared by every per-GPU
+// client. It is sharded (per-shard mutex, short critical sections — a lookup
+// or insert holds the lock only for one row memcpy) so concurrent gather
+// threads rarely contend. Eviction is CLOCK per shard: deterministic given
+// the per-shard access order, which is what the eviction-determinism tests
+// pin down.
+//
+// Failover rule: when the store remaps a failed device the whole cache is
+// invalidated (generation-free: shards are simply cleared under their
+// locks). Cached bytes are always byte-identical to the authoritative host
+// copy, so this is a performance hygiene rule, not a correctness crutch —
+// the chaos harness stays bit-identical with the cache on or off.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace moment::iostack {
+
+struct RowCacheOptions {
+  /// Total rows cached across all shards. 0 disables the cache.
+  std::size_t capacity_rows = 0;
+  /// Shard count (rounded down so every shard holds at least one row).
+  std::size_t shards = 8;
+};
+
+struct RowCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Rows dropped by invalidate_all() (device failover).
+  std::uint64_t invalidations = 0;
+};
+
+class RowCache {
+ public:
+  /// `dim` is the feature width in floats; every cached row is `dim` wide.
+  RowCache(const RowCacheOptions& options, std::size_t dim);
+
+  RowCache(const RowCache&) = delete;
+  RowCache& operator=(const RowCache&) = delete;
+
+  std::size_t capacity_rows() const noexcept { return capacity_rows_; }
+  std::size_t dim() const noexcept { return dim_; }
+  /// Rows currently resident (sums shard sizes; approximate while other
+  /// threads insert).
+  std::size_t size() const;
+
+  /// Copies the cached row for `v` into `out` (dim floats) and marks it
+  /// recently used. Returns false on miss. Counted in hits/misses.
+  bool lookup(graph::VertexId v, std::span<float> out);
+
+  /// Inserts (or refreshes) the row for `v`. Evicts via CLOCK when the
+  /// shard is full. Row bytes for a vertex never change, so a refresh only
+  /// touches the reference bit.
+  void insert(graph::VertexId v, std::span<const float> row);
+
+  /// Drops every cached row (device-failover invalidation). Deterministic:
+  /// shards come back empty with reset CLOCK hands.
+  void invalidate_all();
+
+  /// Aggregated over shards.
+  RowCacheStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<graph::VertexId, std::uint32_t> index;  // v -> slot
+    std::vector<graph::VertexId> slot_vertex;
+    std::vector<std::uint8_t> ref;  // CLOCK reference bits
+    std::vector<float> rows;        // rows_per_shard * dim, slot-major
+    std::size_t used = 0;           // slots filled so far (fill-then-evict)
+    std::size_t hand = 0;           // CLOCK hand
+    RowCacheStats stats;
+  };
+
+  Shard& shard_of(graph::VertexId v) noexcept;
+
+  std::size_t dim_ = 0;
+  std::size_t capacity_rows_ = 0;
+  std::size_t rows_per_shard_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace moment::iostack

@@ -420,6 +420,10 @@ std::uint64_t IoEngine::submit_read(std::size_t ssd, std::uint64_t offset,
   if (ssd >= queues_.size()) {
     throw std::out_of_range("IoEngine::submit_read: ssd index");
   }
+  if (length > kMaxTransferBytes) {
+    throw std::invalid_argument(
+        "IoEngine::submit_read: transfer size exceeds kMaxTransferBytes");
+  }
   const std::uint64_t now = now_ns();
   Pending p;
   p.ssd = ssd;

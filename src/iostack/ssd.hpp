@@ -32,6 +32,12 @@ namespace moment::iostack {
 
 inline constexpr std::size_t kPageBytes = 4096;
 
+/// Maximum data a single command may carry (the NVMe MDTS analogue). Run
+/// coalescing in the gather path merges adjacent feature rows into one
+/// multi-row read up to this bound; IoEngine rejects anything larger so a
+/// buggy caller can't smuggle an unbounded transfer past the pacing model.
+inline constexpr std::size_t kMaxTransferBytes = 128 * 1024;
+
 struct SsdStats {
   std::uint64_t reads = 0;
   std::uint64_t bytes_read = 0;
@@ -142,7 +148,10 @@ class SsdArray {
   HealthOptions health_options_;
 };
 
-/// A batch-read request (doorbell batching: submit many, ring once).
+/// A batch-read request (doorbell batching: submit many, ring once). A
+/// request may span multiple adjacent feature rows (`length` a multiple of
+/// the row size, up to kMaxTransferBytes) — the coalesced form trades
+/// commands for bandwidth, which is what moves an IOPS-bound array.
 struct ReadRequest {
   std::size_t ssd = 0;
   std::uint64_t offset = 0;

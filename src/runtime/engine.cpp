@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "gnn/block.hpp"
@@ -223,13 +224,21 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
   // across providers sharing a store instead of summing it).
   gnn::FeatureProvider::IoResilience io_before;
   std::uint64_t remaps_before = 0;
+  std::uint64_t evictions_before = 0;
   for (const gnn::FeatureProvider* p : providers_) {
     const auto r = p->io_resilience();
     io_before.retries += r.retries;
     io_before.timeouts += r.timeouts;
     io_before.permanent_failures += r.permanent_failures;
     io_before.failovers += r.failovers;
+    io_before.dedup_saved_reads += r.dedup_saved_reads;
+    io_before.ssd_rows += r.ssd_rows;
+    io_before.ssd_commands += r.ssd_commands;
+    io_before.coalesced_commands += r.coalesced_commands;
+    io_before.cache_hits += r.cache_hits;
+    io_before.cache_misses += r.cache_misses;
     remaps_before = std::max(remaps_before, r.device_remaps);
+    evictions_before = std::max(evictions_before, r.cache_evictions);
   }
 
   for (WorkerState& ws : worker_states_) ws = WorkerState{};
@@ -300,13 +309,21 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
 
   gnn::FeatureProvider::IoResilience io_after;
   std::uint64_t remaps_after = 0;
+  std::uint64_t evictions_after = 0;
   for (const gnn::FeatureProvider* p : providers_) {
     const auto r = p->io_resilience();
     io_after.retries += r.retries;
     io_after.timeouts += r.timeouts;
     io_after.permanent_failures += r.permanent_failures;
     io_after.failovers += r.failovers;
+    io_after.dedup_saved_reads += r.dedup_saved_reads;
+    io_after.ssd_rows += r.ssd_rows;
+    io_after.ssd_commands += r.ssd_commands;
+    io_after.coalesced_commands += r.coalesced_commands;
+    io_after.cache_hits += r.cache_hits;
+    io_after.cache_misses += r.cache_misses;
     remaps_after = std::max(remaps_after, r.device_remaps);
+    evictions_after = std::max(evictions_after, r.cache_evictions);
     stats.io.devices_degraded =
         std::max(stats.io.devices_degraded, r.devices_degraded);
     stats.io.devices_failed =
@@ -318,9 +335,67 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
       io_after.permanent_failures - io_before.permanent_failures;
   stats.io.failovers = io_after.failovers - io_before.failovers;
   stats.io.device_remaps = remaps_after - remaps_before;
+  stats.io.dedup_saved_reads =
+      io_after.dedup_saved_reads - io_before.dedup_saved_reads;
+  stats.io.ssd_rows = io_after.ssd_rows - io_before.ssd_rows;
+  stats.io.ssd_commands = io_after.ssd_commands - io_before.ssd_commands;
+  stats.io.coalesced_commands =
+      io_after.coalesced_commands - io_before.coalesced_commands;
+  stats.io.cache_hits = io_after.cache_hits - io_before.cache_hits;
+  stats.io.cache_misses = io_after.cache_misses - io_before.cache_misses;
+  // Evictions are cache-wide (one shared cache per store), so like
+  // device_remaps they are max-per-provider before the per-epoch delta.
+  stats.io.cache_evictions = evictions_after - evictions_before;
 
   stats.wall_time_s = seconds_since(t0);
   return stats;
+}
+
+std::string io_report(const EpochStats& stats) {
+  const auto& io = stats.io;
+  char buf[256];
+  std::string out = "io:";
+  const std::uint64_t naive =
+      io.ssd_rows + io.dedup_saved_reads + io.cache_hits;
+  std::snprintf(buf, sizeof(buf),
+                " cmds %llu (rows %llu, %.2f rows/cmd, dedup -%llu, "
+                "cache -%llu)",
+                static_cast<unsigned long long>(io.ssd_commands),
+                static_cast<unsigned long long>(io.ssd_rows),
+                io.ssd_commands > 0 ? io.coalesce_rows_per_cmd() : 0.0,
+                static_cast<unsigned long long>(io.dedup_saved_reads),
+                static_cast<unsigned long long>(io.cache_hits));
+  out += buf;
+  if (io.cache_hits + io.cache_misses > 0) {
+    std::snprintf(buf, sizeof(buf), "  cache %.1f%% hit, %llu evictions",
+                  100.0 * static_cast<double>(io.cache_hits) /
+                      static_cast<double>(io.cache_hits + io.cache_misses),
+                  static_cast<unsigned long long>(io.cache_evictions));
+    out += buf;
+  }
+  if (naive > 0 && io.ssd_commands < naive) {
+    std::snprintf(buf, sizeof(buf), "  (%.1f%% fewer commands than naive)",
+                  100.0 * (1.0 - static_cast<double>(io.ssd_commands) /
+                                     static_cast<double>(naive)));
+    out += buf;
+  }
+  // Resilience (RetryStats-derived) — elided when the epoch was fault-free.
+  if (io.retries + io.timeouts + io.permanent_failures + io.failovers +
+          io.device_remaps + io.devices_degraded + io.devices_failed >
+      0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  faults: retries %llu timeouts %llu perm %llu failovers %llu "
+        "remaps %llu degraded %u failed %u",
+        static_cast<unsigned long long>(io.retries),
+        static_cast<unsigned long long>(io.timeouts),
+        static_cast<unsigned long long>(io.permanent_failures),
+        static_cast<unsigned long long>(io.failovers),
+        static_cast<unsigned long long>(io.device_remaps),
+        io.devices_degraded, io.devices_failed);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace moment::runtime

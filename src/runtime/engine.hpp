@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,12 +68,19 @@ struct EpochStats {
   /// of stalling the worker. 0 when nothing ran asynchronously.
   double overlap_ratio = 0.0;
 
-  /// IO fault-recovery work this epoch: counter fields are per-epoch deltas
-  /// summed over workers; the devices_* gauges are the post-epoch state of
-  /// the backing array (max across providers). All zero for fault-free runs
-  /// and for providers without a faultable backend.
+  /// IO telemetry this epoch: counter fields are per-epoch deltas summed
+  /// over workers (fault recovery plus the dedup/coalesce/cache IO-reduction
+  /// pipeline); the devices_* gauges are the post-epoch state of the backing
+  /// array (max across providers). All zero for fault-free runs on providers
+  /// without a faultable backend.
   gnn::FeatureProvider::IoResilience io;
 };
+
+/// Formats the epoch's IO telemetry for the per-epoch report: the retry/
+/// failover counters (RetryStats-derived) alongside the IO-reduction
+/// pipeline's counters (dedup saves, coalesced commands and rows/cmd, cache
+/// hit rate and evictions). Single line, empty-ish sections elided.
+std::string io_report(const EpochStats& stats);
 
 struct EngineOptions {
   /// 1 = strictly sequential per worker (sample -> gather -> compute), the

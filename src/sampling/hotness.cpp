@@ -14,6 +14,23 @@ std::vector<VertexId> HotnessProfile::by_hotness_desc() const {
   return order;
 }
 
+std::vector<VertexId> HotnessProfile::hottest(std::size_t k) const {
+  std::vector<VertexId> order(hotness.size());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  k = std::min(k, order.size());
+  // partial_sort is not stable; break hotness ties by vertex id so the
+  // warm-up set is deterministic and matches by_hotness_desc's prefix.
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](VertexId a, VertexId b) {
+                      if (hotness[a] != hotness[b]) {
+                        return hotness[a] > hotness[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
 HotnessProfile profile_hotness(const CsrGraph& graph,
                                const NeighborSampler& sampler,
                                const std::vector<VertexId>& train_vertices,

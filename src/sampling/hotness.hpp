@@ -28,6 +28,10 @@ struct HotnessProfile {
 
   /// Vertices sorted by descending hotness (DDAK's allocation order).
   std::vector<VertexId> by_hotness_desc() const;
+
+  /// The `k` hottest vertices only (descending, stable on ties): the cheap
+  /// partial form used to seed the IO stack's hot-row cache at startup.
+  std::vector<VertexId> hottest(std::size_t k) const;
 };
 
 struct HotnessOptions {

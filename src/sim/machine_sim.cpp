@@ -91,7 +91,10 @@ SimReport simulate_epoch(const topology::Topology& topo,
   const topology::FlowGraph* fg_ptr = &fg_in;
   if (options.ssd_iops > 0.0) {
     capped = fg_in;
-    const double cap = options.ssd_iops * options.ssd_request_bytes;
+    // Coalesced multi-row commands move coalesce_factor * request bytes per
+    // IOP, so the IOPS ceiling translates to proportionally more bandwidth.
+    const double cap = options.ssd_iops * options.ssd_request_bytes *
+                       std::max(1.0, options.ssd_coalesce_factor);
     for (const auto& s : capped.storage) {
       if (s.tier != topology::StorageTier::kSsd) continue;
       for (maxflow::EdgeId eid : capped.net.incident(s.node)) {
@@ -238,6 +241,7 @@ SimReport simulate_epoch(const topology::Topology& topo,
   SimReport report;
   report.failed_ssds = failed_ssd_count;
   report.retry_read_amplification = retry_amp;
+  report.coalesce_factor = std::max(1.0, options.ssd_coalesce_factor);
   report.io_round_time_s = round.finish_time;
   report.round_time_s =
       std::max(round.finish_time, options.compute_time_per_batch) +

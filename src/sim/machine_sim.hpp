@@ -40,6 +40,11 @@ struct SimOptions {
   /// size) — 4 KiB feature reads on a P5510 are IOPS-bound near 1M ops/s.
   double ssd_iops = 0.0;
   double ssd_request_bytes = 4096.0;
+  /// Average feature rows per SSD command after the client's dedup + run
+  /// coalescing (TieredFeatureClient's GatherStats::coalesce_rows_per_cmd).
+  /// Each command moves factor * request bytes, so under an IOPS cap the
+  /// effective egress rate scales by the same factor; 1.0 = no coalescing.
+  double ssd_coalesce_factor = 1.0;
   /// Degraded mode: SSD bins with these ordinals (position among SSD-tier
   /// bins, matching the partition_ssds_per_gpu numbering) are failed; their
   /// traffic share is redistributed proportionally onto surviving SSD bins —
@@ -74,6 +79,8 @@ struct SimReport {
   /// factor applied to SSD-tier bytes (1.0 = fault-free).
   std::size_t failed_ssds = 0;
   double retry_read_amplification = 1.0;
+  /// Echo of SimOptions::ssd_coalesce_factor applied to the IOPS cap.
+  double coalesce_factor = 1.0;
 };
 
 /// Simulates one epoch of data-parallel training.
