@@ -4,12 +4,21 @@
 // trained data-parallel with gradient averaging — the full Moment runtime
 // path at laptop scale.
 //
-// Usage: train_graphsage [epochs] [workers]
+// Usage: train_graphsage [epochs] [workers] [--comm-plan=flat|ring|tree|auto]
+//
+// --comm-plan compiles a topology-aware CommPlan for the chosen placement:
+// the gradient all-reduce stays bit-identical, but its modeled transport
+// (per-link bytes, predicted comm seconds) follows the plan, and remote
+// GPU-HBM rows are served over planned peer routes instead of the host copy.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "comm/planner.hpp"
 #include "core/auto_module.hpp"
 #include "gnn/synthetic.hpp"
 #include "iostack/feature_store.hpp"
@@ -18,8 +27,19 @@
 using namespace moment;
 
 int main(int argc, char** argv) {
-  const int epochs = argc > 1 ? std::atoi(argv[1]) : 5;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 2;
+  comm::AllReduceAlgo algo = comm::AllReduceAlgo::kAuto;
+  bool use_comm_plan = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--comm-plan=", 12) == 0) {
+      use_comm_plan = true;
+      algo = comm::parse_algo(argv[i] + 12);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int epochs = positional.size() > 0 ? std::atoi(positional[0]) : 5;
+  const int workers = positional.size() > 1 ? std::atoi(positional[1]) : 2;
 
   // Plan: placement + DDAK layout for a Machine-A-like box.
   const auto machine = topology::make_machine_a();
@@ -73,10 +93,30 @@ int main(int argc, char** argv) {
   std::printf("hot-row cache: %zu rows capacity, %zu seeded from hotness\n",
               cache_opts.capacity_rows, warmed);
 
+  // Optional topology-aware comm plan, compiled for the placement the
+  // auto-module chose (same topology the flow predictor ranked).
+  const auto topo = topology::instantiate(machine, plan.hardware_placement);
+  std::unique_ptr<comm::CommPlan> comm_plan;
+  std::unique_ptr<comm::LinkCounters> link_counters;
+  if (use_comm_plan) {
+    const comm::CommPlanner planner(topo);
+    comm_plan = std::make_unique<comm::CommPlan>(planner.plan(algo));
+    link_counters = std::make_unique<comm::LinkCounters>(comm_plan->num_links);
+    std::printf("comm plan: requested %s, compiled %s over %d GPUs\n",
+                comm::to_string(algo), comm::to_string(comm_plan->algo),
+                comm_plan->num_gpus);
+  }
+
   std::vector<std::unique_ptr<iostack::TieredFeatureClient>> clients;
   std::vector<gnn::FeatureProvider*> providers;
   for (int w = 0; w < workers; ++w) {
-    clients.push_back(std::make_unique<iostack::TieredFeatureClient>(store));
+    iostack::PeerConfig peer;
+    peer.gpu = w;
+    peer.plan = comm_plan.get();
+    peer.counters = link_counters.get();
+    clients.push_back(std::make_unique<iostack::TieredFeatureClient>(
+        store, 256, iostack::IoEngineOptions{}, iostack::GatherOptions{},
+        peer));
     providers.push_back(clients.back().get());
   }
   array.start_all();
@@ -88,8 +128,11 @@ int main(int argc, char** argv) {
   mcfg.hidden_dim = 64;
   mcfg.num_classes = kClasses;
   auto train = sampling::select_train_vertices(g, 0.05, 7);
+  runtime::EngineOptions engine_opts;
+  engine_opts.comm_plan = comm_plan.get();
+  engine_opts.link_counters = link_counters.get();
   runtime::DataParallelTrainer trainer(g, providers, mcfg, {10, 5}, train,
-                                       0.01f, 99);
+                                       0.01f, 99, engine_opts);
   std::printf("training %zu vertices, %d workers, %zu-vertex graph\n",
               train.size(), workers, static_cast<std::size_t>(g.num_vertices()));
 
@@ -108,6 +151,8 @@ int main(int argc, char** argv) {
                 stats.allreduce_s, stats.stage_max.hidden_io_s,
                 100.0 * stats.overlap_ratio);
     std::printf("  %s\n", runtime::io_report(stats).c_str());
+    const std::string comm_line = runtime::comm_report(stats);
+    if (!comm_line.empty()) std::printf("  %s\n", comm_line.c_str());
   }
   array.stop_all();
 

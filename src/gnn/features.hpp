@@ -76,6 +76,16 @@ class FeatureProvider {
     std::uint64_t cache_misses = 0;
     std::uint64_t cache_evictions = 0;
 
+    // Peer-HBM gather path (zero unless a comm plan routes remote-owned
+    // HBM rows over the modeled GPU fabric).
+    /// Rows copied from another GPU's HBM tier over a planned P2P route.
+    std::uint64_t peer_rows = 0;
+    /// Feature bytes those rows moved across the fabric (dim * 4 each).
+    std::uint64_t peer_bytes = 0;
+    /// Remote-owned HBM rows that fell back to the host authoritative copy
+    /// (peer routing disabled or the pair unroutable).
+    std::uint64_t remote_hbm_host_rows = 0;
+
     /// Average rows per issued SSD command (0 when nothing was issued).
     double coalesce_rows_per_cmd() const noexcept {
       return ssd_commands > 0 ? static_cast<double>(ssd_rows) /

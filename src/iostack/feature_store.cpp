@@ -43,8 +43,10 @@ TieredFeatureStore::TieredFeatureStore(
   const std::size_t raw = dim_ * sizeof(float);
   row_bytes_ = ((raw + kPageBytes - 1) / kPageBytes) * kPageBytes;
 
-  // First pass: count rows per tier / per SSD.
-  std::size_t gpu_rows = 0, cpu_rows = 0, ssd_total = 0;
+  // First pass: count rows per tier / per SSD. Rows in owned GPU-HBM bins
+  // (BinBacking::gpu >= 0) also get a host authoritative copy: it is the
+  // storage-path fallback remote clients use when peer routing is off.
+  std::size_t gpu_rows = 0, cpu_rows = 0, host_total = 0;
   std::vector<std::uint32_t> ssd_rows(array.size(), 0);
   for (std::size_t v = 0; v < n; ++v) {
     const auto b = static_cast<std::size_t>(bin_of_vertex[v]);
@@ -52,7 +54,10 @@ TieredFeatureStore::TieredFeatureStore(
       throw std::out_of_range("TieredFeatureStore: bin index");
     }
     switch (bins[b].kind) {
-      case BinBacking::Kind::kGpuCache: ++gpu_rows; break;
+      case BinBacking::Kind::kGpuCache:
+        ++gpu_rows;
+        if (bins[b].gpu >= 0) ++host_total;
+        break;
       case BinBacking::Kind::kCpuCache: ++cpu_rows; break;
       case BinBacking::Kind::kSsd: {
         const auto s = static_cast<std::size_t>(bins[b].ssd);
@@ -60,7 +65,7 @@ TieredFeatureStore::TieredFeatureStore(
           throw std::out_of_range("TieredFeatureStore: ssd index");
         }
         ++ssd_rows[s];
-        ++ssd_total;
+        ++host_total;
         break;
       }
     }
@@ -75,7 +80,7 @@ TieredFeatureStore::TieredFeatureStore(
 
   gpu_cache_ = gnn::Tensor(gpu_rows, dim_);
   cpu_cache_ = gnn::Tensor(cpu_rows, dim_);
-  ssd_authoritative_ = gnn::Tensor(ssd_total, dim_);
+  host_copy_ = gnn::Tensor(host_total, dim_);
   host_index_.assign(n, -1);
   loc_ = std::vector<std::atomic<std::uint64_t>>(n);
   ssd_next_slot_.assign(array.size(), 0);
@@ -95,8 +100,15 @@ TieredFeatureStore::TieredFeatureStore(
     switch (bin.kind) {
       case BinBacking::Kind::kGpuCache:
         loc.index = gpu_cursor;
+        loc.ssd = bin.gpu;  // owning GPU ordinal (-1 = replicated)
         std::copy(src.begin(), src.end(), gpu_cache_.row(gpu_cursor).begin());
         ++gpu_cursor;
+        if (bin.gpu >= 0) {
+          host_index_[v] = static_cast<std::int64_t>(host_cursor);
+          std::copy(src.begin(), src.end(),
+                    host_copy_.row(host_cursor).begin());
+          ++host_cursor;
+        }
         break;
       case BinBacking::Kind::kCpuCache:
         loc.index = cpu_cursor;
@@ -113,7 +125,7 @@ TieredFeatureStore::TieredFeatureStore(
         ++ssd_cursor[s];
         host_index_[v] = static_cast<std::int64_t>(host_cursor);
         std::copy(src.begin(), src.end(),
-                  ssd_authoritative_.row(host_cursor).begin());
+                  host_copy_.row(host_cursor).begin());
         ++host_cursor;
         break;
       }
@@ -138,8 +150,10 @@ std::size_t TieredFeatureStore::warm_row_cache(
   for (graph::VertexId v : by_hotness_desc) {
     if (seeded >= row_cache_->capacity_rows()) break;
     // Only SSD-resident vertices belong in the cache; the static tiers
-    // already hold the rest in DRAM/HBM.
+    // already hold the rest in DRAM/HBM (owned-HBM rows have a host copy
+    // too, but caching them would shadow the peer path).
     if (v >= host_index_.size() || host_index_[v] < 0) continue;
+    if (location(v).kind != BinBacking::Kind::kSsd) continue;
     row_cache_->insert(v, authoritative_row(v));
     ++seeded;
   }
@@ -151,9 +165,9 @@ std::span<const float> TieredFeatureStore::authoritative_row(
   const std::int64_t idx = host_index_[v];
   if (idx < 0) {
     throw std::logic_error(
-        "TieredFeatureStore::authoritative_row: vertex is cache-resident");
+        "TieredFeatureStore::authoritative_row: vertex has no host copy");
   }
-  return ssd_authoritative_.row(static_cast<std::size_t>(idx));
+  return host_copy_.row(static_cast<std::size_t>(idx));
 }
 
 bool TieredFeatureStore::remap_failed_device(std::size_t ssd) {
@@ -242,9 +256,10 @@ bool TieredFeatureStore::remap_failed_device(std::size_t ssd) {
 TieredFeatureClient::TieredFeatureClient(TieredFeatureStore& store,
                                          std::size_t queue_depth,
                                          IoEngineOptions io_options,
-                                         GatherOptions gather_options)
+                                         GatherOptions gather_options,
+                                         PeerConfig peer)
     : store_(store), engine_(store.array(), queue_depth, io_options),
-      gather_options_(gather_options) {}
+      gather_options_(gather_options), peer_(peer) {}
 
 void TieredFeatureClient::serve_from_host(graph::VertexId v, gnn::Tensor& out,
                                           std::size_t out_row) {
@@ -341,9 +356,35 @@ gnn::FeatureProvider::GatherTicket TieredFeatureClient::gather_begin(
     TieredFeatureStore::Location loc = store_.location(v);
     switch (loc.kind) {
       case BinBacking::Kind::kGpuCache: {
-        const auto src = store_.gpu_cache().row(loc.index);
-        std::copy(src.begin(), src.end(), out.row(i).begin());
-        ++stats_.gpu_hits;
+        const int owner = loc.ssd;  // owning GPU ordinal; -1 = replicated
+        if (owner >= 0 && owner != peer_.gpu) {
+          const comm::PeerRoute* route =
+              peer_.plan != nullptr ? peer_.plan->peer_route(owner, peer_.gpu)
+                                    : nullptr;
+          if (route != nullptr && route->valid()) {
+            // Modeled P2P copy: the bytes come from the owner's HBM tier and
+            // the planned route's links are charged dim*4 bytes each.
+            const auto src = store_.gpu_cache().row(loc.index);
+            std::copy(src.begin(), src.end(), out.row(i).begin());
+            ++stats_.peer_hits;
+            const std::uint64_t bytes = store_.dim() * sizeof(float);
+            stats_.peer_bytes += bytes;
+            if (peer_.counters != nullptr) {
+              for (const comm::RouteLink& rl : route->links) {
+                peer_.counters->add(rl.link, rl.forward, bytes);
+              }
+            }
+          } else {
+            // Storage-path round trip: host authoritative copy (same bytes).
+            const auto src = store_.authoritative_row(v);
+            std::copy(src.begin(), src.end(), out.row(i).begin());
+            ++stats_.remote_hbm_host_reads;
+          }
+        } else {
+          const auto src = store_.gpu_cache().row(loc.index);
+          std::copy(src.begin(), src.end(), out.row(i).begin());
+          ++stats_.gpu_hits;
+        }
         break;
       }
       case BinBacking::Kind::kCpuCache: {
@@ -529,6 +570,9 @@ gnn::FeatureProvider::IoResilience TieredFeatureClient::io_resilience() const {
   r.coalesced_commands = stats_.coalesced_commands;
   r.cache_hits = stats_.cache_hits;
   r.cache_misses = stats_.cache_misses;
+  r.peer_rows = stats_.peer_hits;
+  r.peer_bytes = stats_.peer_bytes;
+  r.remote_hbm_host_rows = stats_.remote_hbm_host_reads;
   if (const RowCache* cache = store_.row_cache()) {
     r.cache_evictions = cache->stats().evictions;
   }

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "comm/plan.hpp"
 #include "gnn/features.hpp"
 #include "iostack/row_cache.hpp"
 #include "iostack/ssd.hpp"
@@ -32,6 +33,11 @@ struct BinBacking {
   enum class Kind { kGpuCache, kCpuCache, kSsd };
   Kind kind = Kind::kSsd;
   int ssd = -1;  // valid when kind == kSsd
+  /// Owning GPU ordinal for kGpuCache bins. -1 (default) means the bin is
+  /// replicated into every GPU's HBM (the historical behaviour); >= 0 means
+  /// exactly that GPU holds the rows, and other GPUs' clients reach them via
+  /// the peer-HBM path (comm plan route) or the host authoritative copy.
+  int gpu = -1;
 };
 
 struct GatherStats {
@@ -53,6 +59,14 @@ struct GatherStats {
   std::uint64_t cache_misses = 0;
   /// Rows served from the host authoritative copy after permanent failures.
   std::uint64_t failovers = 0;
+  /// Rows owned by another GPU's HBM served by a modeled P2P copy over the
+  /// comm plan's route.
+  std::uint64_t peer_hits = 0;
+  /// Feature bytes those peer rows moved across the fabric (dim * 4 each).
+  std::uint64_t peer_bytes = 0;
+  /// Remote-owned HBM rows served from the host authoritative copy instead
+  /// (peer path disabled or the GPU pair unroutable).
+  std::uint64_t remote_hbm_host_reads = 0;
   /// Failed-device remaps this client triggered (store-wide remaps may be
   /// triggered by any client; each is counted once per store).
   std::uint64_t device_remaps = 0;
@@ -106,6 +120,8 @@ class TieredFeatureStore {
   struct Location {
     BinBacking::Kind kind;
     std::uint32_t index;  // cache row or SSD slot
+    /// SSD ordinal for kSsd rows; for kGpuCache rows this is the owning GPU
+    /// ordinal (-1 = replicated on every GPU).
     std::int32_t ssd;
   };
   /// Lock-free location lookup; safe against concurrent remaps (locations
@@ -115,9 +131,9 @@ class TieredFeatureStore {
   const gnn::Tensor& gpu_cache() const noexcept { return gpu_cache_; }
   const gnn::Tensor& cpu_cache() const noexcept { return cpu_cache_; }
 
-  /// The host authoritative row for an SSD-resident vertex (raw floats,
-  /// dim() wide). Valid for any vertex whose original placement was SSD,
-  /// regardless of later remaps.
+  /// The host authoritative row (raw floats, dim() wide). Valid for any
+  /// vertex whose original placement was SSD (regardless of later remaps) or
+  /// an owned GPU-HBM bin (the storage-path fallback for remote-owned rows).
   std::span<const float> authoritative_row(graph::VertexId v) const;
 
   /// Re-places every bin of `ssd` onto surviving devices: plans with
@@ -160,9 +176,10 @@ class TieredFeatureStore {
   gnn::Tensor cpu_cache_;
   SsdArray* array_ = nullptr;
 
-  /// Host authoritative copy of SSD-resident rows and the (stable) row index
-  /// of each SSD-resident vertex in it; -1 for cache-resident vertices.
-  gnn::Tensor ssd_authoritative_;
+  /// Host authoritative copy of SSD-resident and owned-GPU-HBM rows, and the
+  /// (stable) row index of each such vertex in it; -1 for vertices that need
+  /// no host copy (CPU-cache rows, replicated HBM rows).
+  gnn::Tensor host_copy_;
   std::vector<std::int64_t> host_index_;
 
   /// Placement snapshot for the failover planner.
@@ -179,6 +196,22 @@ class TieredFeatureStore {
   /// remap_failed_device so post-failover gathers never mix cache decisions
   /// made against the old placement.
   std::unique_ptr<RowCache> row_cache_;
+};
+
+/// Wires a gather client into the comm layer's peer-HBM path: rows whose bin
+/// is owned by another GPU (BinBacking::gpu >= 0) are served by a modeled
+/// P2P copy over the plan's route — per-link bytes charged to `counters` —
+/// instead of the host/SSD round-trip. With no plan (the default), remote-
+/// owned rows fall back to the host authoritative copy (the storage path).
+struct PeerConfig {
+  /// This client's GPU ordinal (compared against BinBacking::gpu).
+  int gpu = 0;
+  /// Compiled comm plan providing peer routes; null disables the peer path.
+  /// Not owned; must outlive the client.
+  const comm::CommPlan* plan = nullptr;
+  /// Optional per-link byte counters, shared with the engine's all-reduce
+  /// accounting. Not owned.
+  comm::LinkCounters* counters = nullptr;
 };
 
 /// Per-GPU gather client. Implements gnn::FeatureProvider so the trainer can
@@ -201,7 +234,8 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
   explicit TieredFeatureClient(TieredFeatureStore& store,
                                std::size_t queue_depth = 256,
                                IoEngineOptions io_options = {},
-                               GatherOptions gather_options = {});
+                               GatherOptions gather_options = {},
+                               PeerConfig peer = {});
 
   std::size_t dim() const override { return store_.dim(); }
   void gather(std::span<const graph::VertexId> vertices,
@@ -218,6 +252,7 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
   const GatherOptions& gather_options() const noexcept {
     return gather_options_;
   }
+  const PeerConfig& peer_config() const noexcept { return peer_; }
 
  private:
   /// One unique SSD row in flight: where its bytes land in the bounce
@@ -270,6 +305,7 @@ class TieredFeatureClient final : public gnn::FeatureProvider {
   TieredFeatureStore& store_;
   IoEngine engine_;
   GatherOptions gather_options_;
+  PeerConfig peer_;
   GatherStats stats_;
   Slot slots_[2];
   std::uint64_t next_ticket_ = 1;

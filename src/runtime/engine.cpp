@@ -49,6 +49,15 @@ PipelineEngine::PipelineEngine(
   params_.reserve(workers);
   for (gnn::GnnModel* m : models_) params_.push_back(m->parameters());
 
+  // Flat element space over the replica-0 gradients: the all-reduce chunks
+  // over [0, total) with 64-byte-aligned boundaries instead of per-parameter
+  // granularity (comm::kAllReduceGrainFloats).
+  grad_offsets_.reserve(params_[0].size() + 1);
+  grad_offsets_.push_back(0);
+  for (const gnn::Param* p : params_[0]) {
+    grad_offsets_.push_back(grad_offsets_.back() + p->grad.size());
+  }
+
   worker_states_.resize(workers);
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -190,26 +199,57 @@ void PipelineEngine::run_worker_epoch(std::size_t w) {
 
 void PipelineEngine::all_reduce_grads() {
   // Average gradients across replicas and write the average back into every
-  // replica. The per-parameter accumulation order matches the historical
-  // sequential implementation, so chunking changes nothing numerically.
-  const std::size_t num_params = params_[0].size();
-  const float inv = 1.0f / static_cast<float>(params_.size());
-  auto reduce_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t p = begin; p < end; ++p) {
-      gnn::Tensor& acc = params_[0][p]->grad;
-      for (std::size_t w = 1; w < params_.size(); ++w) {
-        acc += params_[w][p]->grad;
+  // replica. The elementwise accumulation order (worker 0, then 1, ... then
+  // scale by 1/N) matches the historical sequential implementation, and the
+  // chunk geometry — boundaries at multiples of comm::kAllReduceGrainFloats,
+  // i.e. 64-byte aligned so concurrent chunks never share a cache line — is
+  // the same for the flat path and every CommPlan algorithm. A plan therefore
+  // never changes values, only the modeled transport accounted below.
+  const std::size_t workers = params_.size();
+  const float inv = 1.0f / static_cast<float>(workers);
+  const std::size_t total = grad_offsets_.back();
+
+  auto reduce_span = [&](std::size_t gbegin, std::size_t gend) {
+    std::size_t p = static_cast<std::size_t>(
+                        std::upper_bound(grad_offsets_.begin(),
+                                         grad_offsets_.end(), gbegin) -
+                        grad_offsets_.begin()) -
+                    1;
+    std::size_t pos = gbegin;
+    while (pos < gend) {
+      const std::size_t stop = std::min(gend, grad_offsets_[p + 1]);
+      const std::size_t off = pos - grad_offsets_[p];
+      const std::size_t len = stop - pos;
+      float* acc = params_[0][p]->grad.data() + off;
+      for (std::size_t w = 1; w < workers; ++w) {
+        const float* g = params_[w][p]->grad.data() + off;
+        for (std::size_t i = 0; i < len; ++i) acc[i] += g[i];
       }
-      acc *= inv;
-      for (std::size_t w = 1; w < params_.size(); ++w) {
-        params_[w][p]->grad = acc;
+      for (std::size_t i = 0; i < len; ++i) acc[i] *= inv;
+      for (std::size_t w = 1; w < workers; ++w) {
+        std::copy(acc, acc + len,
+                  params_[w][p]->grad.data() + off);
       }
+      pos = stop;
+      ++p;
     }
   };
 
+  const std::size_t chunks =
+      (total + comm::kAllReduceGrainFloats - 1) / comm::kAllReduceGrainFloats;
   util::ThreadPool* pool =
       options_.allreduce_threads == 1 ? nullptr : util::compute_pool();
-  util::parallel_for(pool, 0, num_params, 1, reduce_range);
+  util::parallel_for(pool, 0, chunks, 1,
+                     [&](std::size_t cb, std::size_t ce) {
+                       reduce_span(cb * comm::kAllReduceGrainFloats,
+                                   std::min(total,
+                                            ce * comm::kAllReduceGrainFloats));
+                     });
+
+  if (options_.comm_plan != nullptr && options_.link_counters != nullptr) {
+    options_.comm_plan->account(static_cast<double>(total) * sizeof(float),
+                                *options_.link_counters);
+  }
 }
 
 EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
@@ -237,8 +277,15 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
     io_before.coalesced_commands += r.coalesced_commands;
     io_before.cache_hits += r.cache_hits;
     io_before.cache_misses += r.cache_misses;
+    io_before.peer_rows += r.peer_rows;
+    io_before.peer_bytes += r.peer_bytes;
+    io_before.remote_hbm_host_rows += r.remote_hbm_host_rows;
     remaps_before = std::max(remaps_before, r.device_remaps);
     evictions_before = std::max(evictions_before, r.cache_evictions);
+  }
+  std::vector<std::uint64_t> links_before;
+  if (options_.link_counters != nullptr) {
+    links_before = options_.link_counters->snapshot();
   }
 
   for (WorkerState& ws : worker_states_) ws = WorkerState{};
@@ -322,6 +369,9 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
     io_after.coalesced_commands += r.coalesced_commands;
     io_after.cache_hits += r.cache_hits;
     io_after.cache_misses += r.cache_misses;
+    io_after.peer_rows += r.peer_rows;
+    io_after.peer_bytes += r.peer_bytes;
+    io_after.remote_hbm_host_rows += r.remote_hbm_host_rows;
     remaps_after = std::max(remaps_after, r.device_remaps);
     evictions_after = std::max(evictions_after, r.cache_evictions);
     stats.io.devices_degraded =
@@ -346,6 +396,42 @@ EpochStats PipelineEngine::run_epoch(std::span<const std::int32_t> labels,
   // Evictions are cache-wide (one shared cache per store), so like
   // device_remaps they are max-per-provider before the per-epoch delta.
   stats.io.cache_evictions = evictions_after - evictions_before;
+  stats.io.peer_rows = io_after.peer_rows - io_before.peer_rows;
+  stats.io.peer_bytes = io_after.peer_bytes - io_before.peer_bytes;
+  stats.io.remote_hbm_host_rows =
+      io_after.remote_hbm_host_rows - io_before.remote_hbm_host_rows;
+
+  if (const comm::CommPlan* plan = options_.comm_plan) {
+    stats.comm.algorithm = comm::to_string(plan->algo);
+    stats.comm.payload_bytes = grad_offsets_.back() * sizeof(float);
+    stats.comm.predicted_comm_s =
+        static_cast<double>(stats.rounds) *
+        plan->predicted_seconds(static_cast<double>(stats.comm.payload_bytes));
+    if (options_.link_counters != nullptr) {
+      const auto links_after = options_.link_counters->snapshot();
+      for (std::size_t l = 0; l * 2 < links_after.size(); ++l) {
+        const std::uint64_t ab = links_after[2 * l] - links_before[2 * l];
+        const std::uint64_t ba =
+            links_after[2 * l + 1] - links_before[2 * l + 1];
+        if (ab == 0 && ba == 0) continue;
+        CommLinkBytes entry;
+        entry.link = static_cast<topology::LinkId>(l);
+        entry.ab = ab;
+        entry.ba = ba;
+        for (const comm::PlanLinkInfo& info : plan->links) {
+          if (info.link == entry.link) {
+            entry.label = info.label;
+            break;
+          }
+        }
+        if (entry.label.empty()) {
+          entry.label = "link" + std::to_string(l);
+        }
+        stats.comm.modeled_bytes += ab + ba;
+        stats.comm.links.push_back(std::move(entry));
+      }
+    }
+  }
 
   stats.wall_time_s = seconds_since(t0);
   return stats;
@@ -394,6 +480,37 @@ std::string io_report(const EpochStats& stats) {
         static_cast<unsigned long long>(io.device_remaps),
         io.devices_degraded, io.devices_failed);
     out += buf;
+  }
+  return out;
+}
+
+std::string comm_report(const EpochStats& stats) {
+  const auto& c = stats.comm;
+  if (c.algorithm.empty()) return {};
+  char buf[256];
+  std::string out = "comm: " + c.algorithm;
+  std::snprintf(buf, sizeof(buf),
+                " allreduce %.2f MiB/round, predicted %.3f ms/epoch",
+                static_cast<double>(c.payload_bytes) / (1024.0 * 1024.0),
+                c.predicted_comm_s * 1e3);
+  out += buf;
+  if (stats.io.peer_rows + stats.io.remote_hbm_host_rows > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  peer rows %llu (%.2f MiB), remote-host rows %llu",
+                  static_cast<unsigned long long>(stats.io.peer_rows),
+                  static_cast<double>(stats.io.peer_bytes) / (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(
+                      stats.io.remote_hbm_host_rows));
+    out += buf;
+  }
+  if (!c.links.empty()) {
+    out += "  links:";
+    for (const CommLinkBytes& l : c.links) {
+      std::snprintf(buf, sizeof(buf), " %s %.1f/%.1f MiB", l.label.c_str(),
+                    static_cast<double>(l.ab) / (1024.0 * 1024.0),
+                    static_cast<double>(l.ba) / (1024.0 * 1024.0));
+      out += buf;
+    }
   }
   return out;
 }

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/plan.hpp"
 #include "gnn/features.hpp"
 #include "gnn/model.hpp"
 #include "gnn/optimizer.hpp"
@@ -49,6 +50,29 @@ struct StageTimes {
   double hidden_io_s = 0.0;
 
   double gather_s() const noexcept { return gather_issue_s + gather_wait_s; }
+};
+
+/// Modeled bytes that crossed one physical link this epoch (both directions).
+struct CommLinkBytes {
+  topology::LinkId link = -1;
+  std::string label;
+  std::uint64_t ab = 0;
+  std::uint64_t ba = 0;
+};
+
+/// Communication telemetry for one epoch: the modeled all-reduce transport
+/// plus any peer-HBM gather traffic the feature clients routed over the same
+/// LinkCounters. Populated only when EngineOptions wires a CommPlan; the
+/// per-link deltas additionally need a LinkCounters instance.
+struct CommStats {
+  std::string algorithm;            // "flat"/"ring"/"tree"; empty = no plan
+  std::uint64_t payload_bytes = 0;  // gradient bytes per all-reduce round
+  std::uint64_t modeled_bytes = 0;  // sum of per-link byte deltas this epoch
+  /// Contention-costed plan model x rounds: the predicted wall-clock cost of
+  /// this epoch's all-reduces on the physical links (compare against
+  /// sim::SimReport::comm_round_time_s and the measured allreduce_s).
+  double predicted_comm_s = 0.0;
+  std::vector<CommLinkBytes> links;  // links with nonzero traffic, by id
 };
 
 struct EpochStats {
@@ -74,6 +98,9 @@ struct EpochStats {
   /// array (max across providers). All zero for fault-free runs on providers
   /// without a faultable backend.
   gnn::FeatureProvider::IoResilience io;
+
+  /// Modeled communication telemetry (all-reduce + peer-HBM gather).
+  CommStats comm;
 };
 
 /// Formats the epoch's IO telemetry for the per-epoch report: the retry/
@@ -81,6 +108,11 @@ struct EpochStats {
 /// pipeline's counters (dedup saves, coalesced commands and rows/cmd, cache
 /// hit rate and evictions). Single line, empty-ish sections elided.
 std::string io_report(const EpochStats& stats);
+
+/// Formats the epoch's comm telemetry (algorithm, per-round payload,
+/// predicted seconds, per-link bytes, peer-gather rows) as a single line.
+/// Empty string when no comm plan was wired.
+std::string comm_report(const EpochStats& stats);
 
 struct EngineOptions {
   /// 1 = strictly sequential per worker (sample -> gather -> compute), the
@@ -92,6 +124,15 @@ struct EngineOptions {
   /// also what the GEMM/aggregation kernels use — the engine owns no pool of
   /// its own).
   std::size_t allreduce_threads = 0;
+  /// Compiled communication plan for the gradient all-reduce. The reduction
+  /// itself always runs the same fixed-order elementwise kernel (so every
+  /// algorithm is bit-identical); the plan drives the modeled transport:
+  /// per-link byte accounting and predicted comm seconds. Null = legacy flat
+  /// path with no accounting. Not owned; must outlive the engine.
+  const comm::CommPlan* comm_plan = nullptr;
+  /// Per-link byte counters shared with the feature clients' peer-gather
+  /// path; snapshotted per epoch into EpochStats::comm. Not owned.
+  comm::LinkCounters* link_counters = nullptr;
 };
 
 /// Persistent-worker pipelined engine. Non-owning: the caller (typically
@@ -172,6 +213,9 @@ class PipelineEngine {
   EngineOptions options_;
 
   std::vector<std::vector<gnn::Param*>> params_;  // cached per replica
+  /// Prefix offsets (in floats) of each parameter's gradient within the flat
+  /// element space the all-reduce chunks over; back() == total elements.
+  std::vector<std::size_t> grad_offsets_;
 
   // Worker lifecycle: workers park on cv_ between epochs; epoch_seq_ wakes
   // them, shutdown_ retires them. barrier_ has workers + coordinator parties.

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "util/thread_pool.hpp"
 
 namespace moment::sampling {
 
@@ -37,39 +38,76 @@ SampledSubgraph NeighborSampler::sample(std::span<const VertexId> seeds,
   sg.seeds.assign(seeds.begin(), seeds.end());
   sg.layers.resize(fanouts_.size());
 
-  std::unordered_set<VertexId> fetch(seeds.begin(), seeds.end());
-  std::vector<VertexId> frontier(seeds.begin(), seeds.end());
+  // Exactly two draws from the caller's generator — independent of the batch
+  // content — derive the batch base. Every (hop, dst) then samples from its
+  // own counter-based stream, so the subgraph is a pure function of
+  // (base, hop, dst): identical for any thread count, and sibling batches
+  // never perturb each other through a shared generator.
+  const auto hi = static_cast<std::uint64_t>(rng.next());
+  const auto lo = static_cast<std::uint64_t>(rng.next());
+  const std::uint64_t base = (hi << 32) ^ lo;
+
+  std::vector<VertexId>& frontier = scratch_frontier_;
+  frontier.assign(seeds.begin(), seeds.end());
+  util::ThreadPool* pool = util::compute_pool();
 
   for (std::size_t hop = 0; hop < fanouts_.size(); ++hop) {
     SampledLayer& layer = sg.layers[hop];
-    const int fanout = fanouts_[hop];
-    // DGL block semantics: the next hop samples neighbors for the previous
-    // frontier PLUS its sampled sources (every block's dst set is a subset
-    // of its src set, so self features are available to UPDATE).
-    std::unordered_set<VertexId> next_frontier(frontier.begin(),
-                                               frontier.end());
+    const auto fanout = static_cast<std::size_t>(fanouts_[hop]);
     layer.dst_vertices = frontier;
-    layer.edges.reserve(frontier.size() * static_cast<std::size_t>(fanout));
-    for (VertexId dst : frontier) {
-      const auto nbrs = graph_.neighbors(dst);
-      if (nbrs.empty()) continue;
-      // Sampling WITH replacement (DGL's default for uniform neighbor
-      // sampling when fanout can exceed degree).
-      for (int k = 0; k < fanout; ++k) {
-        const VertexId src =
-            nbrs[rng.next_below(static_cast<std::uint32_t>(nbrs.size()))];
-        layer.edges.emplace_back(dst, src);
-        fetch.insert(src);
-        next_frontier.insert(src);
+
+    // Fan the per-dst sampling out over the compute pool: each dst writes
+    // only its own slice of the scratch arrays, so chunk shapes are
+    // irrelevant to the result.
+    scratch_srcs_.resize(frontier.size() * fanout);
+    scratch_counts_.assign(frontier.size(), 0);
+    util::parallel_for(
+        pool, 0, frontier.size(), 64, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const VertexId dst = frontier[i];
+            const auto nbrs = graph_.neighbors(dst);
+            if (nbrs.empty()) continue;
+            util::Pcg32 r(
+                util::hash_combine(base + hop,
+                                   static_cast<std::uint64_t>(dst)),
+                0x4e534d50);  // "NSMP"
+            VertexId* out = scratch_srcs_.data() + i * fanout;
+            // Sampling WITH replacement (DGL's default for uniform neighbor
+            // sampling when fanout can exceed degree).
+            for (std::size_t k = 0; k < fanout; ++k) {
+              out[k] = nbrs[r.next_below(
+                  static_cast<std::uint32_t>(nbrs.size()))];
+            }
+            scratch_counts_[i] = static_cast<std::uint32_t>(fanout);
+          }
+        });
+
+    // Sequential compaction in frontier order: the same edge order the
+    // historical sequential loop produced.
+    layer.edges.clear();
+    layer.edges.reserve(frontier.size() * fanout);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const VertexId* src = scratch_srcs_.data() + i * fanout;
+      for (std::uint32_t k = 0; k < scratch_counts_[i]; ++k) {
+        layer.edges.emplace_back(frontier[i], src[k]);
       }
     }
-    frontier.assign(next_frontier.begin(), next_frontier.end());
-    // Keep frontier deterministic regardless of hash-set iteration order.
-    std::sort(frontier.begin(), frontier.end());
+
+    // DGL block semantics: the next hop's frontier is the previous frontier
+    // PLUS its sampled sources (every block's dst set is a subset of its src
+    // set, so self features are available to UPDATE).
+    scratch_next_.assign(frontier.begin(), frontier.end());
+    for (const auto& [dst, src] : layer.edges) scratch_next_.push_back(src);
+    std::sort(scratch_next_.begin(), scratch_next_.end());
+    scratch_next_.erase(
+        std::unique(scratch_next_.begin(), scratch_next_.end()),
+        scratch_next_.end());
+    std::swap(frontier, scratch_next_);
   }
 
-  sg.fetch_set.assign(fetch.begin(), fetch.end());
-  std::sort(sg.fetch_set.begin(), sg.fetch_set.end());
+  // The frontier grows monotonically (seeds U all sampled sources), so after
+  // the last hop it IS the unique feature-fetch set.
+  sg.fetch_set = frontier;
   return sg;
 }
 

@@ -7,6 +7,7 @@
 // storage hierarchy. The fetch set drives both the hotness profiler and the
 // simulator's traffic model.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,13 @@ class NeighborSampler {
   /// first-hop then 10 second-hop neighbors per vertex (paper Section 4.1).
   NeighborSampler(const CsrGraph& graph, std::vector<int> fanouts);
 
+  /// Samples the layered subgraph for `seeds`. Draws exactly two words from
+  /// `rng` to derive a batch base, then every (hop, dst) pair samples from
+  /// its own counter-based stream — fanned over util::compute_pool(), with
+  /// results independent of the thread count (samples are a pure function of
+  /// (base, hop, dst)). Reuses per-sampler scratch buffers, so concurrent
+  /// sample() calls on the SAME instance race; give each worker thread its
+  /// own sampler (the engine already does).
   SampledSubgraph sample(std::span<const VertexId> seeds,
                          util::Pcg32& rng) const;
 
@@ -53,6 +61,12 @@ class NeighborSampler {
  private:
   const CsrGraph& graph_;
   std::vector<int> fanouts_;
+  /// Per-call scratch, hoisted so steady-state sampling allocates only the
+  /// returned subgraph (see sample() for the reuse/thread-safety contract).
+  mutable std::vector<VertexId> scratch_frontier_;
+  mutable std::vector<VertexId> scratch_next_;
+  mutable std::vector<VertexId> scratch_srcs_;
+  mutable std::vector<std::uint32_t> scratch_counts_;
 };
 
 /// Shuffled mini-batch iterator over training vertices.

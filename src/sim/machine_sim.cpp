@@ -248,6 +248,16 @@ SimReport simulate_epoch(const topology::Topology& topo,
       options.round_overhead_s;
   report.io_bound = round.finish_time >= options.compute_time_per_batch;
 
+  // Gradient all-reduce phase: a barrier between rounds, costed against the
+  // physical links with per-step contention (the plan's model), so planned
+  // vs. flat schedules are directly comparable on the same machine.
+  if (options.comm_plan != nullptr && options.gradient_bytes_per_round > 0.0) {
+    report.comm_round_time_s =
+        options.comm_plan->predicted_seconds(options.gradient_bytes_per_round);
+    report.comm_algorithm = comm::to_string(options.comm_plan->algo);
+    report.round_time_s += report.comm_round_time_s;
+  }
+
   const std::size_t rounds =
       (workload.batches_per_epoch + static_cast<std::size_t>(num_gpus) - 1) /
       static_cast<std::size_t>(num_gpus);
@@ -295,6 +305,38 @@ SimReport simulate_epoch(const topology::Topology& topo,
       report.qpi_bytes += lt.bytes_ab + lt.bytes_ba;
     }
     report.link_traffic.push_back(std::move(lt));
+  }
+
+  // Fold the comm plan's modeled all-reduce bytes into the link report.
+  if (options.comm_plan != nullptr && options.gradient_bytes_per_round > 0.0) {
+    const auto volume =
+        options.comm_plan->link_volume(options.gradient_bytes_per_round);
+    for (const comm::LinkVolume& lv : volume) {
+      if (lv.ab == 0 && lv.ba == 0) continue;
+      const double ab = static_cast<double>(lv.ab) * scale;
+      const double ba = static_cast<double>(lv.ba) * scale;
+      LinkTrafficReport* entry = nullptr;
+      for (LinkTrafficReport& lt : report.link_traffic) {
+        if (lt.link == lv.link) {
+          entry = &lt;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        LinkTrafficReport lt;
+        lt.link = lv.link;
+        const auto& l = topo.link(lv.link);
+        lt.label = l.label;
+        lt.kind = l.kind;
+        report.link_traffic.push_back(std::move(lt));
+        entry = &report.link_traffic.back();
+      }
+      entry->bytes_ab += ab;
+      entry->bytes_ba += ba;
+      if (entry->kind == topology::LinkKind::kQpi) {
+        report.qpi_bytes += ab + ba;
+      }
+    }
   }
   return report;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/plan.hpp"
 #include "ddak/ddak.hpp"
 #include "ddak/workload.hpp"
 #include "sim/fluid.hpp"
@@ -53,6 +54,15 @@ struct SimOptions {
   /// Transient read-error rate p on the SSD tier: every SSD byte is fetched
   /// 1/(1-p) times on average (retry read amplification). 0 = fault-free.
   double ssd_transient_error_rate = 0.0;
+  /// Gradient all-reduce comm phase. When `comm_plan` is set, every round
+  /// additionally pays the plan's contention-costed time for
+  /// `gradient_bytes_per_round` bytes (per schedule step, the most loaded
+  /// (link, direction) sets the step's duration; steps are sequential), and
+  /// the plan's modeled per-link bytes are folded into link_traffic. The
+  /// comm phase is a barrier between rounds, so it does not overlap IO or
+  /// compute. Not owned; null = comm-free epochs (historical behaviour).
+  const comm::CommPlan* comm_plan = nullptr;
+  double gradient_bytes_per_round = 0.0;
 };
 
 struct LinkTrafficReport {
@@ -81,6 +91,10 @@ struct SimReport {
   double retry_read_amplification = 1.0;
   /// Echo of SimOptions::ssd_coalesce_factor applied to the IOPS cap.
   double coalesce_factor = 1.0;
+  /// Contention-costed gradient all-reduce time per round (0 without a
+  /// comm plan) and the plan's algorithm name ("" without one).
+  double comm_round_time_s = 0.0;
+  std::string comm_algorithm;
 };
 
 /// Simulates one epoch of data-parallel training.

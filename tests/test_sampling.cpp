@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "sampling/hotness.hpp"
 #include "sampling/neighbor_sampler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace moment::sampling {
 namespace {
@@ -102,6 +103,60 @@ TEST(NeighborSampler, DeterministicGivenRngState) {
   const auto sb = sampler.sample(seeds, b);
   EXPECT_EQ(sa.fetch_set, sb.fetch_set);
   EXPECT_EQ(sa.layers[1].edges, sb.layers[1].edges);
+}
+
+TEST(NeighborSampler, ThreadCountInvariantSubgraphs) {
+  // The parallel sampler's per-(hop, dst) counter-based streams make the
+  // subgraph a pure function of the two words drawn from the caller's rng —
+  // identical for any compute-pool size.
+  const CsrGraph g = test_graph();
+  NeighborSampler sampler(g, {6, 4});
+  std::vector<graph::VertexId> seeds(200);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    seeds[i] = static_cast<graph::VertexId>((i * 7) % g.num_vertices());
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  util::set_compute_pool_threads(1);
+  util::Pcg32 r1(77);
+  const auto inline_run = sampler.sample(seeds, r1);
+  util::set_compute_pool_threads(4);
+  util::Pcg32 r4(77);
+  const auto pooled_run = sampler.sample(seeds, r4);
+  util::set_compute_pool_threads(0);  // restore auto sizing
+
+  EXPECT_EQ(inline_run.fetch_set, pooled_run.fetch_set);
+  ASSERT_EQ(inline_run.layers.size(), pooled_run.layers.size());
+  for (std::size_t l = 0; l < inline_run.layers.size(); ++l) {
+    EXPECT_EQ(inline_run.layers[l].dst_vertices,
+              pooled_run.layers[l].dst_vertices);
+    EXPECT_EQ(inline_run.layers[l].edges, pooled_run.layers[l].edges);
+  }
+  // Both runs must have advanced the caller's generator identically.
+  EXPECT_EQ(r1.next(), r4.next());
+}
+
+TEST(NeighborSampler, DrawsExactlyTwoWordsPerBatch) {
+  // The batch-content-independent rng contract: sample() consumes exactly
+  // two words, so sibling samplers sharing a seed derivation stay aligned
+  // no matter what they sample.
+  const CsrGraph g = test_graph();
+  NeighborSampler small(g, {2});
+  NeighborSampler big(g, {9, 9});
+  util::Pcg32 a(5), b(5), reference(5);
+  reference.next();
+  reference.next();
+  const std::vector<graph::VertexId> few = {1};
+  std::vector<graph::VertexId> many(64);
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    many[i] = static_cast<graph::VertexId>(i * 3);
+  }
+  small.sample(few, a);
+  big.sample(many, b);
+  const auto expected = reference.next();
+  EXPECT_EQ(a.next(), expected);
+  EXPECT_EQ(b.next(), expected);
 }
 
 TEST(BatchIterator, CoversAllVerticesOncePerEpoch) {
